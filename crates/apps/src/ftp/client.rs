@@ -1,0 +1,180 @@
+//! The FTP client (netkit-ftp flavored).
+
+use dsim::{SimCtx, SimDuration, SimTime};
+use simos::fs::OpenMode;
+use simos::{Fd, HostId, Process};
+use sockets::stdio::SockFile;
+use sockets::{api, SockAddr, SockError, SockResult};
+
+use super::{FtpTransports, FTP_CHUNK};
+
+/// What the client reports after a transfer — the numbers Table 1 quotes
+/// ("bandwidth and elapsed time reported by the FTP client").
+#[derive(Debug, Clone, Copy)]
+pub struct TransferStats {
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Elapsed virtual time.
+    pub elapsed: SimDuration,
+}
+
+impl TransferStats {
+    /// Bandwidth in Mb/s.
+    pub fn mbps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.bytes as f64 * 8.0 / secs / 1e6
+    }
+}
+
+/// A connected, logged-in FTP client.
+pub struct FtpClient {
+    process: Process,
+    ctrl: SockFile,
+    server: HostId,
+    transports: FtpTransports,
+}
+
+impl FtpClient {
+    /// Connect to the server's control port and log in.
+    pub fn connect(
+        ctx: &SimCtx,
+        process: &Process,
+        server: HostId,
+        port: u16,
+        transports: FtpTransports,
+    ) -> SockResult<FtpClient> {
+        let fd = api::socket(ctx, process, transports.control)?;
+        api::connect(ctx, process, fd, SockAddr::new(server, port))?;
+        let mut ctrl = SockFile::fdopen(process, fd);
+        expect_code(ctx, &mut ctrl, "220")?;
+        ctrl.write_line(ctx, "USER anonymous")?;
+        expect_code(ctx, &mut ctrl, "331")?;
+        ctrl.write_line(ctx, "PASS guest@")?;
+        expect_code(ctx, &mut ctrl, "230")?;
+        ctrl.write_line(ctx, "TYPE I")?;
+        expect_code(ctx, &mut ctrl, "200")?;
+        Ok(FtpClient {
+            process: process.clone(),
+            ctrl,
+            server,
+            transports,
+        })
+    }
+
+    fn open_data(&mut self, ctx: &SimCtx) -> SockResult<Fd> {
+        // The server's 227 reply names the passive port.
+        let line = self
+            .ctrl
+            .read_line(ctx)?
+            .ok_or(SockError::ConnectionReset)?;
+        if !line.starts_with("227") {
+            return Err(SockError::InvalidState);
+        }
+        let port: u16 = line
+            .rsplit(' ')
+            .next()
+            .and_then(|w| w.parse().ok())
+            .ok_or(SockError::InvalidState)?;
+        let fd = api::socket(ctx, &self.process, self.transports.data)?;
+        api::connect(ctx, &self.process, fd, SockAddr::new(self.server, port))?;
+        Ok(fd)
+    }
+
+    /// `get remote local`: download `remote_path` into the local ramdisk.
+    pub fn retr(
+        &mut self,
+        ctx: &SimCtx,
+        remote_path: &str,
+        local_path: &str,
+    ) -> SockResult<TransferStats> {
+        let t0 = ctx.now();
+        self.ctrl.write_line(ctx, &format!("RETR {remote_path}"))?;
+        let data = self.open_data(ctx)?;
+        expect_code(ctx, &mut self.ctrl, "150")?;
+        let file = self.process.open(ctx, local_path, OpenMode::Write)?;
+        let mut bytes = 0u64;
+        loop {
+            let chunk = api::recv(ctx, &self.process, data, FTP_CHUNK)?;
+            if chunk.is_empty() {
+                break;
+            }
+            bytes += chunk.len() as u64;
+            self.process.write(ctx, file, &chunk)?;
+        }
+        self.process.close(ctx, file)?;
+        api::close(ctx, &self.process, data)?;
+        expect_code(ctx, &mut self.ctrl, "226")?;
+        Ok(self.stats(ctx, t0, bytes))
+    }
+
+    /// `put local remote`: upload a local ramdisk file.
+    pub fn stor(
+        &mut self,
+        ctx: &SimCtx,
+        local_path: &str,
+        remote_path: &str,
+    ) -> SockResult<TransferStats> {
+        let t0 = ctx.now();
+        self.ctrl.write_line(ctx, &format!("STOR {remote_path}"))?;
+        let data = self.open_data(ctx)?;
+        expect_code(ctx, &mut self.ctrl, "150")?;
+        let file = self.process.open(ctx, local_path, OpenMode::Read)?;
+        let mut bytes = 0u64;
+        loop {
+            let chunk = self.process.read(ctx, file, FTP_CHUNK)?;
+            if chunk.is_empty() {
+                break;
+            }
+            bytes += chunk.len() as u64;
+            api::send_all(ctx, &self.process, data, &chunk)?;
+        }
+        self.process.close(ctx, file)?;
+        api::close(ctx, &self.process, data)?;
+        expect_code(ctx, &mut self.ctrl, "226")?;
+        Ok(self.stats(ctx, t0, bytes))
+    }
+
+    /// `dir`: fetch a listing (the server-side fork + pipe path).
+    pub fn list(&mut self, ctx: &SimCtx, prefix: &str) -> SockResult<String> {
+        self.ctrl.write_line(ctx, &format!("LIST {prefix}"))?;
+        let data = self.open_data(ctx)?;
+        expect_code(ctx, &mut self.ctrl, "150")?;
+        let mut out = Vec::new();
+        loop {
+            let chunk = api::recv(ctx, &self.process, data, FTP_CHUNK)?;
+            if chunk.is_empty() {
+                break;
+            }
+            out.extend_from_slice(&chunk);
+        }
+        api::close(ctx, &self.process, data)?;
+        expect_code(ctx, &mut self.ctrl, "226")?;
+        Ok(String::from_utf8_lossy(&out).into_owned())
+    }
+
+    /// `quit`: end the session.
+    pub fn quit(mut self, ctx: &SimCtx) -> SockResult<()> {
+        self.ctrl.write_line(ctx, "QUIT")?;
+        expect_code(ctx, &mut self.ctrl, "221")?;
+        self.ctrl.close(ctx)
+    }
+
+    fn stats(&self, ctx: &SimCtx, t0: SimTime, bytes: u64) -> TransferStats {
+        TransferStats {
+            bytes,
+            elapsed: ctx.now().since(t0),
+        }
+    }
+}
+
+fn expect_code(ctx: &SimCtx, ctrl: &mut SockFile, code: &str) -> SockResult<()> {
+    let line = ctrl.read_line(ctx)?.ok_or(SockError::ConnectionReset)?;
+    if line.starts_with(code) {
+        Ok(())
+    } else {
+        Err(SockError::InvalidState)
+    }
+}

@@ -1,0 +1,59 @@
+//! A miniature FTP (modeled on linux-ftpd / netkit-ftp 0.16, the programs
+//! the paper ports over SOVIA in Section 5.3).
+//!
+//! Control connection: textual commands over a [`sockets::stdio::SockFile`]
+//! line stream. Data connections: passive mode (the server opens an
+//! ephemeral data port per transfer). `LIST` forks a child that produces
+//! the listing into a pipe (the `/bin/ls -lgA` flow of Section 4.3) — the
+//! code path that trips the fork/copy-on-write hazard of Figure 5.
+
+mod client;
+mod server;
+
+pub use client::{FtpClient, TransferStats};
+pub use server::{serve_session_on, spawn_ftp_server, FtpServerConfig};
+
+use sockets::SockType;
+
+/// Which socket type each FTP connection uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FtpTransports {
+    /// Control-connection socket type.
+    pub control: SockType,
+    /// Data-connection socket type.
+    pub data: SockType,
+}
+
+impl FtpTransports {
+    /// Plain TCP FTP.
+    pub fn tcp() -> FtpTransports {
+        FtpTransports {
+            control: SockType::Stream,
+            data: SockType::Stream,
+        }
+    }
+
+    /// FTP ported over SOVIA (both connections on `SOCK_VIA`).
+    pub fn sovia() -> FtpTransports {
+        FtpTransports {
+            control: SockType::Via,
+            data: SockType::Via,
+        }
+    }
+
+    /// The inetd-compatible split of Section 4.3: the client reaches the
+    /// server through a normal TCP control connection (so inetd works
+    /// untouched) and the data flows over a SOVIA connection.
+    pub fn inetd_hybrid() -> FtpTransports {
+        FtpTransports {
+            control: SockType::Stream,
+            data: SockType::Via,
+        }
+    }
+}
+
+/// Default FTP control port.
+pub const FTP_PORT: u16 = 21;
+/// I/O chunk used by both ends for file transfers (netkit used BUFSIZ-
+/// sized stdio reads; we use 8 KB).
+pub const FTP_CHUNK: usize = 8 * 1024;

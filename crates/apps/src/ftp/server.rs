@@ -1,0 +1,252 @@
+//! The FTP server daemon.
+
+use dsim::{SimCtx, SimHandle};
+use simos::fs::OpenMode;
+use simos::{Fd, HostId, Process};
+use sockets::stdio::SockFile;
+use sockets::{api, SockAddr, SockResult};
+
+use super::{FtpTransports, FTP_CHUNK, FTP_PORT};
+
+/// Server configuration.
+#[derive(Clone)]
+pub struct FtpServerConfig {
+    /// Socket types for control and data connections.
+    pub transports: FtpTransports,
+    /// Control port (default 21).
+    pub port: u16,
+    /// Fork a child to produce `LIST` output through a pipe, like the real
+    /// ftpd running `/bin/ls` (exercises the Figure 5 COW path).
+    pub fork_for_list: bool,
+    /// Sessions to serve before exiting (None = forever).
+    pub max_sessions: Option<usize>,
+}
+
+impl Default for FtpServerConfig {
+    fn default() -> Self {
+        FtpServerConfig {
+            transports: FtpTransports::tcp(),
+            port: FTP_PORT,
+            fork_for_list: true,
+            max_sessions: None,
+        }
+    }
+}
+
+/// Spawn the FTP server on its own simulation thread.
+pub fn spawn_ftp_server(h: &SimHandle, process: Process, config: FtpServerConfig) {
+    let host = process.machine().id();
+    h.spawn(format!("ftpd-{host}"), move |ctx| {
+        if let Err(e) = server_main(ctx, &process, host, &config) {
+            panic!("ftpd failed: {e}");
+        }
+    });
+}
+
+fn server_main(
+    ctx: &SimCtx,
+    process: &Process,
+    host: HostId,
+    config: &FtpServerConfig,
+) -> SockResult<()> {
+    let listener = api::socket(ctx, process, config.transports.control)?;
+    api::bind(ctx, process, listener, SockAddr::new(host, config.port))?;
+    api::listen(ctx, process, listener, 8)?;
+    let mut sessions = 0usize;
+    loop {
+        if let Some(max) = config.max_sessions {
+            if sessions >= max {
+                break;
+            }
+        }
+        let (ctrl, _peer) = api::accept(ctx, process, listener)?;
+        sessions += 1;
+        let p = process.clone();
+        let cfg = config.clone();
+        ctx.handle()
+            .spawn(format!("ftpd-session-{sessions}"), move |sctx| {
+                let _ = session(sctx, &p, ctrl, &cfg);
+            });
+    }
+    api::close(ctx, process, listener)?;
+    Ok(())
+}
+
+/// Serve one FTP session on an already-connected control descriptor.
+/// This is the entry point inetd uses: the control connection arrives
+/// inherited from the super-server; data connections are opened per the
+/// configured transports (Section 4.3's TCP-control / SOVIA-data split).
+pub fn serve_session_on(
+    ctx: &SimCtx,
+    process: &Process,
+    ctrl: Fd,
+    config: &FtpServerConfig,
+) -> SockResult<()> {
+    session(ctx, process, ctrl, config)
+}
+
+fn session(ctx: &SimCtx, process: &Process, ctrl: Fd, config: &FtpServerConfig) -> SockResult<()> {
+    let host = process.machine().id();
+    let mut ctrl = SockFile::fdopen(process, ctrl);
+    ctrl.write_line(ctx, "220 simftpd ready")?;
+    let mut logged_in = false;
+    while let Some(line) = ctrl.read_line(ctx)? {
+        let (cmd, arg) = match line.split_once(' ') {
+            Some((c, a)) => (c.to_ascii_uppercase(), a.trim().to_string()),
+            None => (line.to_ascii_uppercase(), String::new()),
+        };
+        match cmd.as_str() {
+            "USER" => ctrl.write_line(ctx, "331 password required")?,
+            "PASS" => {
+                logged_in = true;
+                ctrl.write_line(ctx, "230 logged in")?;
+            }
+            "TYPE" => ctrl.write_line(ctx, "200 type set")?,
+            "PASV" => ctrl.write_line(ctx, "502 use EPSV-style per-transfer ports")?,
+            "RETR" | "STOR" | "LIST" if !logged_in => {
+                ctrl.write_line(ctx, "530 not logged in")?;
+            }
+            "RETR" => retr(ctx, process, host, &mut ctrl, config, &arg)?,
+            "STOR" => stor(ctx, process, host, &mut ctrl, config, &arg)?,
+            "LIST" => list(ctx, process, host, &mut ctrl, config, &arg)?,
+            "QUIT" => {
+                ctrl.write_line(ctx, "221 goodbye")?;
+                break;
+            }
+            _ => ctrl.write_line(ctx, "502 command not implemented")?,
+        }
+    }
+    ctrl.close(ctx)?;
+    Ok(())
+}
+
+/// Open a fresh passive data port and tell the client about it.
+fn open_data_port(
+    ctx: &SimCtx,
+    process: &Process,
+    host: HostId,
+    ctrl: &mut SockFile,
+    config: &FtpServerConfig,
+) -> SockResult<Fd> {
+    // Ephemeral port derived from nothing fancy; retry on collisions.
+    let listener = api::socket(ctx, process, config.transports.data)?;
+    let mut port = 20_000u16;
+    loop {
+        match api::bind(ctx, process, listener, SockAddr::new(host, port)) {
+            Ok(()) => break,
+            Err(_) => port += 1,
+        }
+    }
+    match api::listen(ctx, process, listener, 1) {
+        Ok(()) => {}
+        Err(sockets::SockError::AddrInUse) => {
+            // Port collided at the provider level; bump and retry once.
+            port += 1;
+            api::bind(ctx, process, listener, SockAddr::new(host, port)).ok();
+            api::listen(ctx, process, listener, 1)?;
+        }
+        Err(e) => return Err(e),
+    }
+    ctrl.write_line(ctx, &format!("227 entering passive mode {port}"))?;
+    let (data, _) = api::accept(ctx, process, listener)?;
+    api::close(ctx, process, listener)?;
+    Ok(data)
+}
+
+fn retr(
+    ctx: &SimCtx,
+    process: &Process,
+    host: HostId,
+    ctrl: &mut SockFile,
+    config: &FtpServerConfig,
+    path: &str,
+) -> SockResult<()> {
+    if !process.machine().fs().exists(path) {
+        return ctrl.write_line(ctx, "550 no such file");
+    }
+    let data = open_data_port(ctx, process, host, ctrl, config)?;
+    ctrl.write_line(ctx, "150 opening data connection")?;
+    let file = process.open(ctx, path, OpenMode::Read)?;
+    loop {
+        let chunk = process.read(ctx, file, FTP_CHUNK)?;
+        if chunk.is_empty() {
+            break;
+        }
+        api::send_all(ctx, process, data, &chunk)?;
+    }
+    process.close(ctx, file)?;
+    api::close(ctx, process, data)?;
+    ctrl.write_line(ctx, "226 transfer complete")
+}
+
+fn stor(
+    ctx: &SimCtx,
+    process: &Process,
+    host: HostId,
+    ctrl: &mut SockFile,
+    config: &FtpServerConfig,
+    path: &str,
+) -> SockResult<()> {
+    let data = open_data_port(ctx, process, host, ctrl, config)?;
+    ctrl.write_line(ctx, "150 opening data connection")?;
+    let file = process.open(ctx, path, OpenMode::Write)?;
+    loop {
+        let chunk = api::recv(ctx, process, data, FTP_CHUNK)?;
+        if chunk.is_empty() {
+            break;
+        }
+        process.write(ctx, file, &chunk)?;
+    }
+    process.close(ctx, file)?;
+    api::close(ctx, process, data)?;
+    ctrl.write_line(ctx, "226 transfer complete")
+}
+
+/// `LIST`: the Section 4.3 flow — fork a child to produce the listing,
+/// read it back over a pipe, relay it over the data connection.
+fn list(
+    ctx: &SimCtx,
+    process: &Process,
+    host: HostId,
+    ctrl: &mut SockFile,
+    config: &FtpServerConfig,
+    prefix: &str,
+) -> SockResult<()> {
+    let data = open_data_port(ctx, process, host, ctrl, config)?;
+    ctrl.write_line(ctx, "150 opening data connection")?;
+    if config.fork_for_list {
+        let (r, w) = process.pipe(ctx);
+        let prefix = prefix.to_string();
+        process.fork(ctx, "ls", move |cctx, child| {
+            // Child: "/bin/ls -lgA | …" — writes the listing to the pipe.
+            child.close(cctx, r).ok();
+            let listing = render_listing(&child, &prefix);
+            child.write(cctx, w, listing.as_bytes()).ok();
+            child.close(cctx, w).ok();
+        });
+        process.close(ctx, w)?;
+        loop {
+            let chunk = process.read(ctx, r, FTP_CHUNK)?;
+            if chunk.is_empty() {
+                break;
+            }
+            api::send_all(ctx, process, data, &chunk)?;
+        }
+        process.close(ctx, r)?;
+    } else {
+        let listing = render_listing(process, prefix);
+        api::send_all(ctx, process, data, listing.as_bytes())?;
+    }
+    api::close(ctx, process, data)?;
+    ctrl.write_line(ctx, "226 transfer complete")
+}
+
+fn render_listing(process: &Process, prefix: &str) -> String {
+    process
+        .machine()
+        .fs()
+        .list(prefix)
+        .iter()
+        .map(|(path, len)| format!("-rw-r--r-- 1 ftp ftp {len:>12} {path}\r\n"))
+        .collect()
+}

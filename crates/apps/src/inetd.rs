@@ -1,0 +1,95 @@
+//! A miniature `inetd` super-server (Section 4.3).
+//!
+//! The paper's problem: completely sharing a SOVIA socket between inetd
+//! and a forked daemon would require sharing a VI across processes, which
+//! Linux of the era cannot protect (no process-shared mutexes). The
+//! paper's partial solution, reproduced here: **the client reaches inetd
+//! over a normal TCP control connection** (so inetd itself needs no
+//! changes), the daemon is forked with the control descriptor inherited,
+//! and any high-bandwidth traffic flows over *new* SOVIA connections the
+//! daemon opens itself — e.g. FTP's per-transfer data connections.
+
+use std::sync::Arc;
+
+use dsim::{SimCtx, SimHandle};
+use simos::{Fd, HostId, Process};
+use sockets::{api, SockAddr, SockResult, SockType};
+
+/// A per-connection service handler, run in the forked child.
+pub type ServiceHandler = Arc<dyn Fn(&SimCtx, Process, Fd) + Send + Sync>;
+
+/// One service entry in the inetd configuration ("port → program").
+#[derive(Clone)]
+pub struct InetdService {
+    /// TCP port inetd listens on for this service.
+    pub port: u16,
+    /// Service name (child process name, diagnostics).
+    pub name: String,
+    /// The daemon body.
+    pub handler: ServiceHandler,
+    /// Connections to serve before the acceptor exits (None = forever).
+    pub max_sessions: Option<usize>,
+}
+
+/// Spawn the super-server: one acceptor per configured service. Each
+/// accepted connection forks a child that runs the handler with the
+/// inherited control descriptor.
+pub fn spawn_inetd(h: &SimHandle, process: Process, services: Vec<InetdService>) {
+    let host = process.machine().id();
+    for svc in services {
+        let p = process.clone();
+        h.spawn(format!("inetd-{}:{}", svc.name, svc.port), move |ctx| {
+            if let Err(e) = acceptor(ctx, &p, host, &svc) {
+                panic!("inetd service {} failed: {e}", svc.name);
+            }
+        });
+    }
+}
+
+fn acceptor(ctx: &SimCtx, process: &Process, host: HostId, svc: &InetdService) -> SockResult<()> {
+    // inetd itself speaks plain TCP — that is the whole point.
+    let listener = api::socket(ctx, process, SockType::Stream)?;
+    api::bind(ctx, process, listener, SockAddr::new(host, svc.port))?;
+    api::listen(ctx, process, listener, 16)?;
+    let mut served = 0usize;
+    loop {
+        if let Some(max) = svc.max_sessions {
+            if served >= max {
+                break;
+            }
+        }
+        let (conn, _peer) = api::accept(ctx, process, listener)?;
+        served += 1;
+        // Fork the daemon; the socket table is part of the process state
+        // the child keeps reaching (descriptor inheritance).
+        let handler = Arc::clone(&svc.handler);
+        process.fork(ctx, format!("{}-{served}", svc.name), move |cctx, child| {
+            handler(cctx, child, conn);
+        });
+        // Real inetd closes its copy of the descriptor; our descriptor
+        // table is shared with the child, so the parent simply stops
+        // touching it and the child closes it when the session ends.
+    }
+    api::close(ctx, process, listener)?;
+    Ok(())
+}
+
+/// The paper's showcase: an FTP service for inetd whose control channel
+/// is the inherited TCP connection and whose data connections are SOVIA.
+pub fn ftp_service(max_sessions: Option<usize>) -> InetdService {
+    use crate::ftp::{serve_session_on, FtpServerConfig, FtpTransports, FTP_PORT};
+    InetdService {
+        port: FTP_PORT,
+        name: "ftpd".into(),
+        max_sessions,
+        handler: Arc::new(|ctx, child, ctrl_fd| {
+            let config = FtpServerConfig {
+                transports: FtpTransports::inetd_hybrid(),
+                fork_for_list: false,
+                max_sessions: Some(1),
+                ..Default::default()
+            };
+            let _ = serve_session_on(ctx, &child, ctrl_fd, &config);
+        }),
+    }
+}

@@ -1,0 +1,20 @@
+//! # apps — applications ported over the sockets API
+//!
+//! The two applications the SOVIA paper uses to verify functional
+//! compatibility (Section 5): a miniature **FTP** (linux-ftpd /
+//! netkit-ftp flavored, including the fork-for-`LIST` pipe path that
+//! exposes the Figure 5 copy-on-write hazard) and **SunRPC** (XDR, RFC
+//! 1057 framing, `clnt_create` transport selection, rpcgen-style stubs).
+//! Plus the infrastructure of Section 4.3 — a miniature [`inetd`]
+//! super-server with the TCP-control/SOVIA-data split — and the paper's
+//! stated future work, a striped parallel file store ([`pfs`]).
+//!
+//! Everything runs unchanged over kernel TCP (`SOCK_STREAM`) or SOVIA
+//! (`SOCK_VIA`) — that interchangeability *is* the compatibility claim.
+
+#![warn(missing_docs)]
+
+pub mod ftp;
+pub mod inetd;
+pub mod pfs;
+pub mod rpc;

@@ -1,0 +1,275 @@
+//! A user-level striped file store over the sockets API — the paper's
+//! stated future work ("we plan to port a user-level parallel file
+//! system ... over the SOVIA layer"), built the way Section 6 implies:
+//! ordinary sockets code that runs unchanged over `SOCK_VIA`.
+//!
+//! A file is cut into fixed-size stripes distributed round-robin across N
+//! storage servers; a small metadata object on server 0 records the
+//! length and stripe size. The wire protocol is length-prefixed binary
+//! frames over any stream socket.
+
+use dsim::{SimCtx, SimHandle};
+use simos::fs::OpenMode;
+use simos::{Fd, HostId, Process};
+use sockets::{api, SockAddr, SockError, SockResult, SockType};
+
+/// Default stripe size (one SOVIA chunk: stripes map 1:1 onto the
+/// zero-copy path's 32 KB transfers).
+pub const DEFAULT_STRIPE: usize = 32 * 1024;
+
+/// Operation codes.
+const OP_WRITE: u8 = 1;
+const OP_READ: u8 = 2;
+
+/// Response status codes.
+const ST_OK: u8 = 0;
+const ST_NOT_FOUND: u8 = 1;
+
+// ----- framing ---------------------------------------------------------------
+
+fn put_frame_header(out: &mut Vec<u8>, op: u8, name: &str, data_len: u64) {
+    out.push(op);
+    out.extend_from_slice(&(name.len() as u16).to_be_bytes());
+    out.extend_from_slice(name.as_bytes());
+    out.extend_from_slice(&data_len.to_be_bytes());
+}
+
+fn read_exact(ctx: &SimCtx, p: &Process, fd: Fd, n: usize) -> SockResult<Vec<u8>> {
+    let buf = api::recv_exact(ctx, p, fd, n)?;
+    if buf.len() < n {
+        return Err(SockError::ConnectionReset);
+    }
+    Ok(buf)
+}
+
+// ----- server ------------------------------------------------------------------
+
+/// Spawn one storage server. Objects live in the machine's ramdisk under
+/// `pfs/`.
+pub fn spawn_pfs_server(
+    h: &SimHandle,
+    process: Process,
+    port: u16,
+    stype: SockType,
+    max_sessions: Option<usize>,
+) {
+    let host = process.machine().id();
+    h.spawn(format!("pfs-server-{host}"), move |ctx| {
+        if let Err(e) = server_main(ctx, &process, host, port, stype, max_sessions) {
+            panic!("pfs server failed: {e}");
+        }
+    });
+}
+
+fn server_main(
+    ctx: &SimCtx,
+    process: &Process,
+    host: HostId,
+    port: u16,
+    stype: SockType,
+    max_sessions: Option<usize>,
+) -> SockResult<()> {
+    let listener = api::socket(ctx, process, stype)?;
+    api::bind(ctx, process, listener, SockAddr::new(host, port))?;
+    api::listen(ctx, process, listener, 8)?;
+    let mut sessions = 0;
+    loop {
+        if let Some(max) = max_sessions {
+            if sessions >= max {
+                break;
+            }
+        }
+        let (conn, _) = api::accept(ctx, process, listener)?;
+        sessions += 1;
+        let p = process.clone();
+        ctx.handle()
+            .spawn(format!("pfs-session-{host}-{sessions}"), move |sctx| {
+                let _ = serve(sctx, &p, conn);
+            });
+    }
+    api::close(ctx, process, listener)?;
+    Ok(())
+}
+
+fn serve(ctx: &SimCtx, p: &Process, conn: Fd) -> SockResult<()> {
+    loop {
+        // Header: op(1) name_len(2) name data_len(8).
+        let first = api::recv(ctx, p, conn, 1)?;
+        if first.is_empty() {
+            break; // orderly EOF
+        }
+        let op = first[0];
+        let name_len = u16::from_be_bytes(read_exact(ctx, p, conn, 2)?[..2].try_into().unwrap());
+        let name_bytes = read_exact(ctx, p, conn, name_len as usize)?;
+        let name = String::from_utf8_lossy(&name_bytes).into_owned();
+        let data_len =
+            u64::from_be_bytes(read_exact(ctx, p, conn, 8)?[..8].try_into().unwrap());
+        let path = format!("pfs/{name}");
+        match op {
+            OP_WRITE => {
+                let fd = p.open(ctx, &path, OpenMode::Write)?;
+                let mut remaining = data_len as usize;
+                while remaining > 0 {
+                    let chunk = api::recv(ctx, p, conn, remaining.min(64 * 1024))?;
+                    if chunk.is_empty() {
+                        return Err(SockError::ConnectionReset);
+                    }
+                    remaining -= chunk.len();
+                    p.write(ctx, fd, &chunk)?;
+                }
+                p.close(ctx, fd)?;
+                api::send_all(ctx, p, conn, &[ST_OK])?;
+                api::send_all(ctx, p, conn, &0u64.to_be_bytes())?;
+            }
+            OP_READ => {
+                if !p.machine().fs().exists(&path) {
+                    api::send_all(ctx, p, conn, &[ST_NOT_FOUND])?;
+                    api::send_all(ctx, p, conn, &0u64.to_be_bytes())?;
+                    continue;
+                }
+                let len = p.machine().fs().file_len(&path).unwrap();
+                api::send_all(ctx, p, conn, &[ST_OK])?;
+                api::send_all(ctx, p, conn, &len.to_be_bytes())?;
+                let fd = p.open(ctx, &path, OpenMode::Read)?;
+                loop {
+                    let chunk = p.read(ctx, fd, 32 * 1024)?;
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    api::send_all(ctx, p, conn, &chunk)?;
+                }
+                p.close(ctx, fd)?;
+            }
+            _ => return Err(SockError::InvalidState),
+        }
+    }
+    api::close(ctx, p, conn)?;
+    Ok(())
+}
+
+// ----- client ------------------------------------------------------------------
+
+/// A client holding one connection per storage server.
+pub struct PfsClient {
+    process: Process,
+    conns: Vec<Fd>,
+    stripe: usize,
+}
+
+impl PfsClient {
+    /// Connect to every server.
+    pub fn connect(
+        ctx: &SimCtx,
+        process: &Process,
+        servers: &[HostId],
+        port: u16,
+        stype: SockType,
+        stripe: usize,
+    ) -> SockResult<PfsClient> {
+        assert!(!servers.is_empty() && stripe > 0);
+        let mut conns = Vec::with_capacity(servers.len());
+        for &h in servers {
+            let fd = api::socket(ctx, process, stype)?;
+            api::connect(ctx, process, fd, SockAddr::new(h, port))?;
+            conns.push(fd);
+        }
+        Ok(PfsClient {
+            process: process.clone(),
+            conns,
+            stripe,
+        })
+    }
+
+    fn request_write(&self, ctx: &SimCtx, server: usize, name: &str, data: &[u8]) -> SockResult<()> {
+        let fd = self.conns[server];
+        let mut hdr = Vec::new();
+        put_frame_header(&mut hdr, OP_WRITE, name, data.len() as u64);
+        api::send_all(ctx, &self.process, fd, &hdr)?;
+        api::send_all(ctx, &self.process, fd, data)?;
+        let st = read_exact(ctx, &self.process, fd, 1)?[0];
+        let _len = read_exact(ctx, &self.process, fd, 8)?;
+        if st != ST_OK {
+            return Err(SockError::InvalidState);
+        }
+        Ok(())
+    }
+
+    fn request_read(&self, ctx: &SimCtx, server: usize, name: &str) -> SockResult<Option<Vec<u8>>> {
+        let fd = self.conns[server];
+        let mut hdr = Vec::new();
+        put_frame_header(&mut hdr, OP_READ, name, 0);
+        api::send_all(ctx, &self.process, fd, &hdr)?;
+        let st = read_exact(ctx, &self.process, fd, 1)?[0];
+        let len =
+            u64::from_be_bytes(read_exact(ctx, &self.process, fd, 8)?[..8].try_into().unwrap());
+        if st == ST_NOT_FOUND {
+            return Ok(None);
+        }
+        Ok(Some(read_exact(ctx, &self.process, fd, len as usize)?))
+    }
+
+    /// Store `data` under `name`, striped round-robin across the servers.
+    pub fn write_striped(&self, ctx: &SimCtx, name: &str, data: &[u8]) -> SockResult<()> {
+        let n = self.conns.len();
+        for (k, chunk) in data.chunks(self.stripe).enumerate() {
+            self.request_write(ctx, k % n, &format!("{name}.{k}"), chunk)?;
+        }
+        // Metadata on server 0: total length + stripe size.
+        let mut meta = Vec::with_capacity(16);
+        meta.extend_from_slice(&(data.len() as u64).to_be_bytes());
+        meta.extend_from_slice(&(self.stripe as u64).to_be_bytes());
+        self.request_write(ctx, 0, &format!("{name}.meta"), &meta)
+    }
+
+    /// Fetch `name`, gathering its stripes.
+    pub fn read_striped(&self, ctx: &SimCtx, name: &str) -> SockResult<Option<Vec<u8>>> {
+        let Some(meta) = self.request_read(ctx, 0, &format!("{name}.meta"))? else {
+            return Ok(None);
+        };
+        if meta.len() < 16 {
+            return Err(SockError::InvalidState);
+        }
+        let total = u64::from_be_bytes(meta[0..8].try_into().unwrap()) as usize;
+        let stripe = u64::from_be_bytes(meta[8..16].try_into().unwrap()) as usize;
+        let n = self.conns.len();
+        let mut out = Vec::with_capacity(total);
+        let stripes = total.div_ceil(stripe);
+        for k in 0..stripes {
+            let part = self
+                .request_read(ctx, k % n, &format!("{name}.{k}"))?
+                .ok_or(SockError::InvalidState)?;
+            out.extend_from_slice(&part);
+        }
+        if out.len() != total {
+            return Err(SockError::InvalidState);
+        }
+        Ok(Some(out))
+    }
+
+    /// Close all server connections.
+    pub fn close(self, ctx: &SimCtx) -> SockResult<()> {
+        for fd in self.conns {
+            api::close(ctx, &self.process, fd)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod framing_tests {
+    use super::*;
+
+    #[test]
+    fn header_layout() {
+        let mut out = Vec::new();
+        put_frame_header(&mut out, OP_WRITE, "file.0", 1234);
+        assert_eq!(out[0], OP_WRITE);
+        assert_eq!(u16::from_be_bytes([out[1], out[2]]), 6);
+        assert_eq!(&out[3..9], b"file.0");
+        assert_eq!(
+            u64::from_be_bytes(out[9..17].try_into().unwrap()),
+            1234
+        );
+        assert_eq!(out.len(), 1 + 2 + 6 + 8);
+    }
+}

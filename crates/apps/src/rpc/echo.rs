@@ -1,0 +1,111 @@
+//! The benchmark RPC program, in the shape `rpcgen` would emit.
+//!
+//! Fig. 7's workload: "An argument is passed to a remote procedure as a
+//! character string, and the body of the remote procedure is empty
+//! returning an integer value. The argument size of zero represents the
+//! case where the argument of the remote procedure is defined as void."
+
+use std::sync::Arc;
+
+use dsim::SimCtx;
+use simos::{HostId, Process};
+use sockets::SockResult;
+
+use crate::rpc::client::{Clnt, RpcError, Transport};
+use crate::rpc::msg::ReplyStat;
+use crate::rpc::server::{Program, SvcConfig};
+use crate::rpc::xdr::{XdrDecoder, XdrEncoder};
+
+/// Program number (transient range, as rpcgen would assign).
+pub const ECHO_PROG: u32 = 0x2000_0001;
+/// Program version.
+pub const ECHO_VERS: u32 = 1;
+/// Procedure 0: NULLPROC (void → void).
+pub const NULLPROC: u32 = 0;
+/// Procedure 1: ECHOLEN (string → int), the paper's empty body returning
+/// an integer.
+pub const ECHOLEN: u32 = 1;
+/// Default service port.
+pub const ECHO_PORT: u16 = 4045;
+
+/// Client stub: `echo_null_1(clnt)`.
+pub fn echo_null_1(ctx: &SimCtx, clnt: &Clnt) -> Result<(), RpcError> {
+    let reply = clnt.call(ctx, NULLPROC, &[])?;
+    if reply.is_empty() {
+        Ok(())
+    } else {
+        Err(RpcError::BadReply)
+    }
+}
+
+/// Client stub: `echo_len_1(clnt, arg)` — returns the integer result.
+pub fn echo_len_1(ctx: &SimCtx, clnt: &Clnt, arg: &str) -> Result<i32, RpcError> {
+    let mut e = XdrEncoder::new();
+    e.put_string(arg);
+    let reply = clnt.call(ctx, ECHOLEN, &e.finish())?;
+    let mut d = XdrDecoder::new(&reply);
+    d.get_i32().map_err(|_| RpcError::BadReply)
+}
+
+/// Server skeleton: the dispatch table rpcgen would generate, with the
+/// user's (empty) procedure bodies plugged in.
+pub fn echo_program() -> Program {
+    Program::new(ECHO_PROG, ECHO_VERS)
+        .proc_handler(
+            NULLPROC,
+            Arc::new(|_ctx, _args| Ok(Vec::new())),
+        )
+        .proc_handler(
+            ECHOLEN,
+            Arc::new(|_ctx, args| {
+                let mut d = XdrDecoder::new(args);
+                let s = d.get_string().map_err(|_| ReplyStat::GarbageArgs)?;
+                // The remote procedure body is empty; it just returns an
+                // integer (the argument length, so tests can verify).
+                let mut e = XdrEncoder::new();
+                e.put_i32(s.len() as i32);
+                Ok(e.finish())
+            }),
+        )
+}
+
+/// Spawn the echo RPC server on its own simulation process thread.
+pub fn spawn_echo_server(
+    h: &dsim::SimHandle,
+    process: Process,
+    host: HostId,
+    transport: Transport,
+    max_sessions: Option<usize>,
+) {
+    h.spawn(format!("rpc-echo-server-{host}"), move |ctx| {
+        let _ = crate::rpc::server::svc_run(
+            ctx,
+            &process,
+            host,
+            echo_program(),
+            SvcConfig {
+                port: ECHO_PORT,
+                transport,
+                max_sessions,
+            },
+        );
+    });
+}
+
+/// Convenience for benchmarks: create a client bound to the echo service.
+pub fn echo_client(
+    ctx: &SimCtx,
+    process: &Process,
+    server: HostId,
+    transport: Transport,
+) -> SockResult<Clnt> {
+    crate::rpc::client::clnt_create(
+        ctx,
+        process,
+        server,
+        ECHO_PORT,
+        ECHO_PROG,
+        ECHO_VERS,
+        transport,
+    )
+}

@@ -1,0 +1,16 @@
+//! SunRPC over the sockets API (Section 5.4 of the paper).
+//!
+//! The paper ports glibc's sunrpc by teaching `rpcgen` to emit
+//! transport-selectable stubs that link against SOVIA; here the same
+//! structure exists in Rust form: [`xdr`] serialization, RFC 1057 message
+//! framing with TCP record marking ([`msg`]; the null call is 44 bytes on
+//! the wire, the reply 28 — matching the paper), a client runtime
+//! ([`client::clnt_create`] with a `"tcp"` / `"via"` transport argument),
+//! a service loop ([`server::svc_run`]), and the benchmark program in the
+//! shape rpcgen would generate ([`echo`]).
+
+pub mod client;
+pub mod echo;
+pub mod msg;
+pub mod server;
+pub mod xdr;

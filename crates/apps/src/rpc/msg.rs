@@ -1,0 +1,264 @@
+//! ONC RPC message framing (RFC 1057-flavored) with TCP record marking.
+//!
+//! The wire sizes match the paper's note exactly: a null-argument CALL is
+//! 40 bytes of RPC header + 4 bytes of record mark = **44 bytes**; the
+//! reply is 24 + 4 = **28 bytes**.
+
+use crate::rpc::xdr::{XdrDecoder, XdrEncoder, XdrError};
+
+/// RPC protocol version.
+pub const RPC_VERS: u32 = 2;
+
+const MSG_CALL: u32 = 0;
+const MSG_REPLY: u32 = 1;
+
+/// A CALL message header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallMsg {
+    /// Transaction id.
+    pub xid: u32,
+    /// Program number.
+    pub prog: u32,
+    /// Program version.
+    pub vers: u32,
+    /// Procedure number.
+    pub proc_num: u32,
+    /// Procedure arguments (already XDR-encoded).
+    pub args: Vec<u8>,
+}
+
+/// Reply status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyStat {
+    /// Procedure executed.
+    Success,
+    /// Program unavailable.
+    ProgUnavail,
+    /// Procedure unavailable.
+    ProcUnavail,
+    /// Arguments undecodable.
+    GarbageArgs,
+}
+
+impl ReplyStat {
+    fn code(self) -> u32 {
+        match self {
+            ReplyStat::Success => 0,
+            ReplyStat::ProgUnavail => 1,
+            ReplyStat::ProcUnavail => 2,
+            ReplyStat::GarbageArgs => 4,
+        }
+    }
+
+    fn from_code(c: u32) -> Option<ReplyStat> {
+        Some(match c {
+            0 => ReplyStat::Success,
+            1 => ReplyStat::ProgUnavail,
+            2 => ReplyStat::ProcUnavail,
+            4 => ReplyStat::GarbageArgs,
+            _ => return None,
+        })
+    }
+}
+
+/// A REPLY message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyMsg {
+    /// Matching transaction id.
+    pub xid: u32,
+    /// Outcome.
+    pub stat: ReplyStat,
+    /// Result bytes (XDR-encoded), when successful.
+    pub result: Vec<u8>,
+}
+
+impl CallMsg {
+    /// Serialize the RPC body (without record mark): 40 bytes + args.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = XdrEncoder::new();
+        e.put_u32(self.xid)
+            .put_u32(MSG_CALL)
+            .put_u32(RPC_VERS)
+            .put_u32(self.prog)
+            .put_u32(self.vers)
+            .put_u32(self.proc_num)
+            // AUTH_NULL credential and verifier.
+            .put_u32(0)
+            .put_u32(0)
+            .put_u32(0)
+            .put_u32(0);
+        let mut out = e.finish();
+        out.extend_from_slice(&self.args);
+        out
+    }
+
+    /// Parse an RPC body as a CALL.
+    pub fn decode(buf: &[u8]) -> Result<CallMsg, XdrError> {
+        let mut d = XdrDecoder::new(buf);
+        let xid = d.get_u32()?;
+        let mtype = d.get_u32()?;
+        if mtype != MSG_CALL {
+            return Err(XdrError::Truncated);
+        }
+        let rpcvers = d.get_u32()?;
+        if rpcvers != RPC_VERS {
+            return Err(XdrError::Truncated);
+        }
+        let prog = d.get_u32()?;
+        let vers = d.get_u32()?;
+        let proc_num = d.get_u32()?;
+        let _cred_flavor = d.get_u32()?;
+        let cred_len = d.get_u32()? as usize;
+        let _verf_flavor = d.get_u32()?;
+        let verf_len = d.get_u32()? as usize;
+        if cred_len != 0 || verf_len != 0 {
+            return Err(XdrError::Truncated); // only AUTH_NULL supported
+        }
+        let args = buf[buf.len() - d.remaining()..].to_vec();
+        Ok(CallMsg {
+            xid,
+            prog,
+            vers,
+            proc_num,
+            args,
+        })
+    }
+}
+
+impl ReplyMsg {
+    /// Serialize the RPC body (without record mark): 24 bytes + result.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = XdrEncoder::new();
+        e.put_u32(self.xid)
+            .put_u32(MSG_REPLY)
+            .put_u32(0) // MSG_ACCEPTED
+            .put_u32(0) // verifier flavor (AUTH_NULL)
+            .put_u32(0) // verifier length
+            .put_u32(self.stat.code());
+        let mut out = e.finish();
+        out.extend_from_slice(&self.result);
+        out
+    }
+
+    /// Parse an RPC body as a REPLY.
+    pub fn decode(buf: &[u8]) -> Result<ReplyMsg, XdrError> {
+        let mut d = XdrDecoder::new(buf);
+        let xid = d.get_u32()?;
+        let mtype = d.get_u32()?;
+        if mtype != MSG_REPLY {
+            return Err(XdrError::Truncated);
+        }
+        let _accepted = d.get_u32()?;
+        let _verf_flavor = d.get_u32()?;
+        let _verf_len = d.get_u32()?;
+        let stat = ReplyStat::from_code(d.get_u32()?).ok_or(XdrError::Truncated)?;
+        let result = buf[buf.len() - d.remaining()..].to_vec();
+        Ok(ReplyMsg { xid, stat, result })
+    }
+}
+
+/// Wrap an RPC body in a TCP record mark (last-fragment bit + length).
+pub fn record_mark(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(0x8000_0000u32 | body.len() as u32).to_be_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Parse a record mark; returns `(body_len, last_fragment)`.
+pub fn parse_record_mark(hdr: [u8; 4]) -> (usize, bool) {
+    let v = u32::from_be_bytes(hdr);
+    ((v & 0x7FFF_FFFF) as usize, v & 0x8000_0000 != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_call_is_44_bytes_on_the_wire() {
+        // The paper: "even for the null argument, messages are exchanged
+        // ... containing an RPC header, 44 bytes for request and 28 bytes
+        // for response."
+        let call = CallMsg {
+            xid: 1,
+            prog: 0x2000_0001,
+            vers: 1,
+            proc_num: 0,
+            args: Vec::new(),
+        };
+        assert_eq!(record_mark(&call.encode()).len(), 44);
+        let reply = ReplyMsg {
+            xid: 1,
+            stat: ReplyStat::Success,
+            result: Vec::new(),
+        };
+        assert_eq!(record_mark(&reply.encode()).len(), 28);
+    }
+
+    #[test]
+    fn call_roundtrip_with_args() {
+        let mut args = XdrEncoder::new();
+        args.put_string("hello rpc");
+        let call = CallMsg {
+            xid: 77,
+            prog: 42,
+            vers: 3,
+            proc_num: 9,
+            args: args.finish(),
+        };
+        let decoded = CallMsg::decode(&call.encode()).unwrap();
+        assert_eq!(decoded, call);
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let mut res = XdrEncoder::new();
+        res.put_i32(123);
+        let reply = ReplyMsg {
+            xid: 77,
+            stat: ReplyStat::Success,
+            result: res.finish(),
+        };
+        let decoded = ReplyMsg::decode(&reply.encode()).unwrap();
+        assert_eq!(decoded, reply);
+    }
+
+    #[test]
+    fn error_stats_roundtrip() {
+        for stat in [
+            ReplyStat::ProgUnavail,
+            ReplyStat::ProcUnavail,
+            ReplyStat::GarbageArgs,
+        ] {
+            let r = ReplyMsg {
+                xid: 5,
+                stat,
+                result: Vec::new(),
+            };
+            assert_eq!(ReplyMsg::decode(&r.encode()).unwrap().stat, stat);
+        }
+    }
+
+    #[test]
+    fn record_mark_roundtrip() {
+        let body = vec![9u8; 100];
+        let framed = record_mark(&body);
+        let (len, last) = parse_record_mark(framed[..4].try_into().unwrap());
+        assert_eq!(len, 100);
+        assert!(last);
+        assert_eq!(&framed[4..], &body[..]);
+    }
+
+    #[test]
+    fn call_reply_cross_decode_fails() {
+        let call = CallMsg {
+            xid: 1,
+            prog: 2,
+            vers: 3,
+            proc_num: 4,
+            args: Vec::new(),
+        };
+        assert!(ReplyMsg::decode(&call.encode()).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! The RPC server runtime (`svc_run`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dsim::{SimCtx, SimDuration};
+use parking_lot::Mutex;
+use simos::{HostId, Process};
+use sockets::{api, SockAddr, SockResult, SockType};
+
+use crate::rpc::client::Transport;
+use crate::rpc::msg::{parse_record_mark, record_mark, CallMsg, ReplyMsg, ReplyStat};
+
+/// Server-side skeleton dispatch cost per call.
+const SKEL_COST_US: f64 = 6.0;
+/// XDR cost per byte, same rate as the client.
+const XDR_NS_PER_BYTE: f64 = 6.0;
+
+/// A procedure handler: takes XDR-encoded args, returns XDR-encoded
+/// results (or a failure status).
+pub type ProcHandler = Arc<dyn Fn(&SimCtx, &[u8]) -> Result<Vec<u8>, ReplyStat> + Send + Sync>;
+
+/// A registered program: version + procedure table.
+pub struct Program {
+    prog: u32,
+    vers: u32,
+    procs: HashMap<u32, ProcHandler>,
+}
+
+impl Program {
+    /// Define a program.
+    pub fn new(prog: u32, vers: u32) -> Program {
+        Program {
+            prog,
+            vers,
+            procs: HashMap::new(),
+        }
+    }
+
+    /// Register a procedure handler.
+    pub fn proc_handler(mut self, proc_num: u32, f: ProcHandler) -> Program {
+        self.procs.insert(proc_num, f);
+        self
+    }
+}
+
+/// The service: listens on a port, serves connections sequentially per
+/// session thread (one spawned per accepted connection).
+pub struct SvcConfig {
+    /// Listen port.
+    pub port: u16,
+    /// Transport to accept on.
+    pub transport: Transport,
+    /// Connections to serve before exiting (None = forever, daemon-style).
+    pub max_sessions: Option<usize>,
+}
+
+/// Run the service loop on the current simulation process. Blocks.
+pub fn svc_run(
+    ctx: &SimCtx,
+    process: &Process,
+    host: HostId,
+    program: Program,
+    config: SvcConfig,
+) -> SockResult<()> {
+    let stype = match config.transport {
+        Transport::Tcp => SockType::Stream,
+        Transport::Via => SockType::Via,
+    };
+    let program = Arc::new(ProgramShared {
+        prog: program.prog,
+        vers: program.vers,
+        procs: Mutex::new(program.procs),
+    });
+    let listener = api::socket(ctx, process, stype)?;
+    api::bind(ctx, process, listener, SockAddr::new(host, config.port))?;
+    api::listen(ctx, process, listener, 8)?;
+    let mut served = 0usize;
+    loop {
+        if let Some(max) = config.max_sessions {
+            if served >= max {
+                break;
+            }
+        }
+        let (conn, _peer) = api::accept(ctx, process, listener)?;
+        served += 1;
+        // One session thread per connection.
+        let p = process.clone();
+        let prog = Arc::clone(&program);
+        ctx.handle().spawn(format!("rpc-session-{served}"), move |sctx| {
+            let _ = serve_session(sctx, &p, conn, &prog);
+        });
+    }
+    api::close(ctx, process, listener)?;
+    Ok(())
+}
+
+struct ProgramShared {
+    prog: u32,
+    vers: u32,
+    procs: Mutex<HashMap<u32, ProcHandler>>,
+}
+
+fn serve_session(
+    ctx: &SimCtx,
+    process: &Process,
+    conn: simos::Fd,
+    program: &ProgramShared,
+) -> SockResult<()> {
+    loop {
+        let hdr = api::recv_exact(ctx, process, conn, 4)?;
+        if hdr.len() < 4 {
+            break; // EOF
+        }
+        let (len, _last) = parse_record_mark(hdr[..4].try_into().unwrap());
+        let body = api::recv_exact(ctx, process, conn, len)?;
+        if body.len() < len {
+            break;
+        }
+        ctx.sleep(SimDuration::from_micros_f64(SKEL_COST_US));
+        ctx.sleep(SimDuration::from_nanos_f64(XDR_NS_PER_BYTE * body.len() as f64));
+        let reply = match CallMsg::decode(&body) {
+            Err(_) => continue,
+            Ok(call) => {
+                let stat_result = if call.prog != program.prog || call.vers != program.vers {
+                    Err(ReplyStat::ProgUnavail)
+                } else {
+                    let handler = program.procs.lock().get(&call.proc_num).cloned();
+                    match handler {
+                        None => Err(ReplyStat::ProcUnavail),
+                        Some(h) => h(ctx, &call.args),
+                    }
+                };
+                match stat_result {
+                    Ok(result) => ReplyMsg {
+                        xid: call.xid,
+                        stat: ReplyStat::Success,
+                        result,
+                    },
+                    Err(stat) => ReplyMsg {
+                        xid: call.xid,
+                        stat,
+                        result: Vec::new(),
+                    },
+                }
+            }
+        };
+        let out = reply.encode();
+        ctx.sleep(SimDuration::from_nanos_f64(XDR_NS_PER_BYTE * out.len() as f64));
+        api::send_all(ctx, process, conn, &record_mark(&out))?;
+    }
+    api::close(ctx, process, conn)?;
+    Ok(())
+}

@@ -1,0 +1,167 @@
+//! XDR (RFC 1014-style) encoding: the serialization sunrpc uses.
+//!
+//! Everything is big-endian and padded to 4-byte alignment.
+
+/// XDR encoder.
+#[derive(Default)]
+pub struct XdrEncoder {
+    buf: Vec<u8>,
+}
+
+impl XdrEncoder {
+    /// Empty encoder.
+    pub fn new() -> XdrEncoder {
+        XdrEncoder::default()
+    }
+
+    /// Append an unsigned 32-bit integer.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a signed 32-bit integer.
+    pub fn put_i32(&mut self, v: i32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a variable-length opaque (length + bytes + pad).
+    pub fn put_opaque(&mut self, data: &[u8]) -> &mut Self {
+        self.put_u32(data.len() as u32);
+        self.buf.extend_from_slice(data);
+        let pad = (4 - data.len() % 4) % 4;
+        self.buf.extend(std::iter::repeat_n(0u8, pad));
+        self
+    }
+
+    /// Append a string (XDR strings are counted opaques).
+    pub fn put_string(&mut self, s: &str) -> &mut Self {
+        self.put_opaque(s.as_bytes())
+    }
+
+    /// Finish, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// XDR decode errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XdrError {
+    /// Ran out of input.
+    Truncated,
+    /// A string was not valid UTF-8.
+    BadString,
+}
+
+/// XDR decoder over a byte slice.
+pub struct XdrDecoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> XdrDecoder<'a> {
+    /// Decode from `buf`.
+    pub fn new(buf: &'a [u8]) -> XdrDecoder<'a> {
+        XdrDecoder { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], XdrError> {
+        if self.pos + n > self.buf.len() {
+            return Err(XdrError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read an unsigned 32-bit integer.
+    pub fn get_u32(&mut self) -> Result<u32, XdrError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a signed 32-bit integer.
+    pub fn get_i32(&mut self) -> Result<i32, XdrError> {
+        Ok(i32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a variable-length opaque.
+    pub fn get_opaque(&mut self) -> Result<Vec<u8>, XdrError> {
+        let len = self.get_u32()? as usize;
+        let data = self.take(len)?.to_vec();
+        let pad = (4 - len % 4) % 4;
+        self.take(pad)?;
+        Ok(data)
+    }
+
+    /// Read a string.
+    pub fn get_string(&mut self) -> Result<String, XdrError> {
+        String::from_utf8(self.get_opaque()?).map_err(|_| XdrError::BadString)
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_roundtrip() {
+        let mut e = XdrEncoder::new();
+        e.put_u32(7).put_i32(-9).put_u32(u32::MAX);
+        let bytes = e.finish();
+        assert_eq!(bytes.len(), 12);
+        let mut d = XdrDecoder::new(&bytes);
+        assert_eq!(d.get_u32().unwrap(), 7);
+        assert_eq!(d.get_i32().unwrap(), -9);
+        assert_eq!(d.get_u32().unwrap(), u32::MAX);
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn strings_pad_to_four() {
+        for (s, wire) in [("", 4), ("a", 8), ("abcd", 8), ("abcde", 12)] {
+            let mut e = XdrEncoder::new();
+            e.put_string(s);
+            let bytes = e.finish();
+            assert_eq!(bytes.len(), wire, "string {s:?}");
+            let mut d = XdrDecoder::new(&bytes);
+            assert_eq!(d.get_string().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn opaque_roundtrip() {
+        let payload: Vec<u8> = (0..u8::MAX).collect();
+        let mut e = XdrEncoder::new();
+        e.put_opaque(&payload);
+        let mut d_buf = e.finish();
+        let mut d = XdrDecoder::new(&d_buf);
+        assert_eq!(d.get_opaque().unwrap(), payload);
+        // Corrupt the length: decoding must fail, not panic.
+        d_buf[0..4].copy_from_slice(&u32::MAX.to_be_bytes());
+        let mut d = XdrDecoder::new(&d_buf);
+        assert_eq!(d.get_opaque(), Err(XdrError::Truncated));
+    }
+
+    #[test]
+    fn truncated_input() {
+        let mut d = XdrDecoder::new(&[0, 0]);
+        assert_eq!(d.get_u32(), Err(XdrError::Truncated));
+    }
+}

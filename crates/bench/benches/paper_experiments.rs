@@ -1,0 +1,97 @@
+//! Criterion benches wrapping one representative point of every paper
+//! experiment. The *reported values* of the reproduction are the virtual-
+//! time tables printed by the `fig6a`/`fig6b`/`table1`/`fig7` binaries;
+//! these benches measure the wall-clock cost of regenerating those points
+//! (i.e. they benchmark the simulator itself), so regressions in the
+//! harness show up in CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+
+use bench::micro::{bandwidth_mbps, latency_us, Variant};
+use bench::{fig7, table1};
+use sovia::SoviaConfig;
+
+fn bench_fig6a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6a_latency_points");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("sovia_single_4B", |b| {
+        b.iter(|| {
+            let v = latency_us(&Variant::Sovia(SoviaConfig::single()), 4, 20);
+            black_box(v)
+        })
+    });
+    g.bench_function("native_via_4B", |b| {
+        b.iter(|| black_box(latency_us(&Variant::NativeVia, 4, 20)))
+    });
+    g.bench_function("tcp_lane_4B", |b| {
+        b.iter(|| black_box(latency_us(&Variant::TcpLane, 4, 20)))
+    });
+    g.finish();
+}
+
+fn bench_fig6b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6b_bandwidth_points");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("sovia_dacks_32K", |b| {
+        b.iter(|| {
+            black_box(bandwidth_mbps(
+                &Variant::Sovia(SoviaConfig::dacks()),
+                32 * 1024,
+                2 * 1024 * 1024,
+            ))
+        })
+    });
+    g.bench_function("tcp_lane_32K", |b| {
+        b.iter(|| {
+            black_box(bandwidth_mbps(
+                &Variant::TcpLane,
+                32 * 1024,
+                2 * 1024 * 1024,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_ftp");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    // The 19 MB file (the 145 MB one is run by the table1 binary).
+    g.bench_function("sovia_ftp_19MB", |b| {
+        b.iter(|| {
+            black_box(table1::ftp_transfer(
+                table1::Platform::SoviaClan,
+                19_090_223,
+            ))
+        })
+    });
+    g.bench_function("local_copy_19MB", |b| {
+        b.iter(|| black_box(table1::local_copy(19_090_223)))
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_rpc_points");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("null_rpc_sovia", |b| {
+        b.iter(|| black_box(fig7::rpc_elapsed_us(fig7::RpcPlatform::SoviaClan, 0)))
+    });
+    g.bench_function("null_rpc_tcp_clan", |b| {
+        b.iter(|| black_box(fig7::rpc_elapsed_us(fig7::RpcPlatform::TcpClan, 0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6a, bench_fig6b, bench_table1, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Criterion benches of the simulation substrate's hot paths: event
+//! scheduling, process handoff, virtual-time queues, and the simulated
+//! memory system. These bound how fast the paper experiments can run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+use std::sync::Arc;
+
+use dsim::sync::SimQueue;
+use dsim::{SimDuration, Simulation};
+use simos::mem::PAGE_SIZE;
+use simos::{HostCosts, HostId, Machine};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dsim");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    // Pure callback events: scheduler heap throughput.
+    g.bench_function("schedule_10k_callbacks", |b| {
+        b.iter(|| {
+            let sim = Simulation::new();
+            let h = sim.handle();
+            for i in 0..10_000u64 {
+                h.schedule_in(SimDuration::from_nanos(i), |_| {});
+            }
+            black_box(sim.run().unwrap())
+        })
+    });
+    // Token handoff: two processes ping-ponging through a queue.
+    g.bench_function("process_handoff_2k", |b| {
+        b.iter(|| {
+            let sim = Simulation::new();
+            let h = sim.handle();
+            let q1 = SimQueue::<u32>::new(&h);
+            let q2 = SimQueue::<u32>::new(&h);
+            {
+                let (q1, q2) = (Arc::clone(&q1), Arc::clone(&q2));
+                sim.spawn("a", move |ctx| {
+                    for i in 0..1000 {
+                        q1.push(i);
+                        let _ = q2.pop(ctx);
+                    }
+                });
+            }
+            {
+                let (q1, q2) = (Arc::clone(&q1), Arc::clone(&q2));
+                sim.spawn("b", move |ctx| {
+                    for _ in 0..1000 {
+                        let v = q1.pop(ctx);
+                        q2.push(v);
+                    }
+                });
+            }
+            black_box(sim.run().unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_simulated_memory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simos_mem");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("cow_fork_and_write_64_pages", |b| {
+        b.iter(|| {
+            let sim = Simulation::new();
+            let m = Machine::new(&sim.handle(), HostId(0), "m", HostCosts::free());
+            let p = m.spawn_process("p");
+            sim.spawn("main", move |ctx| {
+                let va = p.alloc(ctx, 64 * PAGE_SIZE);
+                let data = vec![7u8; 64 * PAGE_SIZE];
+                p.write_mem(ctx, va, &data);
+                p.fork(ctx, "child", |_, _| {});
+                // Break COW on every page.
+                p.write_mem(ctx, va, &data);
+            });
+            black_box(sim.run().unwrap())
+        })
+    });
+    g.bench_function("pin_dma_roundtrip_1MB", |b| {
+        b.iter(|| {
+            let sim = Simulation::new();
+            let m = Machine::new(&sim.handle(), HostId(0), "m", HostCosts::free());
+            let p = m.spawn_process("p");
+            sim.spawn("main", move |ctx| {
+                let len = 1024 * 1024;
+                let va = p.alloc(ctx, len);
+                let pin = p.pin(va, len);
+                let data = vec![3u8; len];
+                p.dma_write(&pin, 0, &data);
+                let back = p.dma_read(&pin, 0, len);
+                assert_eq!(back.len(), len);
+                p.unpin(&pin);
+            });
+            black_box(sim.run().unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_simulated_memory);
+criterion_main!(benches);

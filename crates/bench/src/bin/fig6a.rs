@@ -1,0 +1,15 @@
+//! Regenerate Figure 6(a): latency on simulated cLAN.
+
+fn main() {
+    let sizes = bench::figures::FIG6A_SIZES;
+    let series = bench::figures::run_fig6a(&sizes);
+    print!(
+        "{}",
+        bench::micro::render_table(
+            "Figure 6(a): Latency (Giganet cLAN1000, simulated)",
+            "usec, one-way",
+            &sizes,
+            &series
+        )
+    );
+}

@@ -1,0 +1,15 @@
+//! Regenerate Figure 6(b): bandwidth on simulated cLAN.
+
+fn main() {
+    let sizes = bench::figures::FIG6B_SIZES;
+    let series = bench::figures::run_fig6b(&sizes);
+    print!(
+        "{}",
+        bench::micro::render_table(
+            "Figure 6(b): Bandwidth (Giganet cLAN1000, simulated)",
+            "Mbps",
+            &sizes,
+            &series
+        )
+    );
+}

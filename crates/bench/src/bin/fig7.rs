@@ -1,0 +1,15 @@
+//! Regenerate Figure 7: average elapsed time for a single RPC.
+
+fn main() {
+    let sizes = bench::fig7::FIG7_SIZES;
+    let series = bench::fig7::run_fig7(&sizes);
+    print!(
+        "{}",
+        bench::micro::render_table(
+            "Figure 7: Average elapsed time for a single RPC",
+            "usec",
+            &sizes,
+            &series
+        )
+    );
+}

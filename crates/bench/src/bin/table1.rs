@@ -1,0 +1,7 @@
+//! Regenerate Table 1: FTP file-transfer performance.
+
+fn main() {
+    let sizes = bench::table1::FILE_SIZES;
+    let rows = bench::table1::run_table1(&sizes);
+    print!("{}", bench::table1::render(&rows, &sizes));
+}

@@ -1,0 +1,81 @@
+//! The experiment definitions, one per table/figure of the paper.
+
+use sovia::SoviaConfig;
+
+use crate::micro::{self, Series, Variant};
+
+/// Message sizes of Figure 6(a).
+pub const FIG6A_SIZES: [usize; 11] = [4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+/// Message sizes of Figure 6(b).
+pub const FIG6B_SIZES: [usize; 14] = [
+    4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768,
+];
+
+/// Ping-pong rounds per latency point.
+pub const LATENCY_ROUNDS: u32 = 40;
+
+/// Bytes streamed per bandwidth point, scaled with the message size so
+/// small-message points stay tractable.
+pub fn bandwidth_total(size: usize) -> usize {
+    // Enough traffic that steady state dominates ramp/stall transients
+    // and packet-burst granularity (combining emits 32 KB packets even
+    // for 4-byte sends).
+    (size * 400).clamp(1024 * 1024, 8 * 1024 * 1024)
+}
+
+/// The series of Figure 6(a), in the paper's legend order.
+pub fn fig6a_variants() -> Vec<Variant> {
+    vec![
+        Variant::TcpLane,
+        Variant::NativeVia,
+        Variant::Sovia(SoviaConfig::handler()),
+        Variant::Sovia(SoviaConfig::single()),
+        // Fig 6(a) isolates the combining timer's cost: SINGLE plus
+        // combining, everything else equal ("increases the latency of
+        // SOVIA by 1-2 usec to manage a software timer").
+        Variant::Sovia(SoviaConfig {
+            combine_small: true,
+            ..SoviaConfig::single()
+        }),
+    ]
+}
+
+/// The series of Figure 6(b).
+pub fn fig6b_variants() -> Vec<Variant> {
+    vec![
+        Variant::TcpLane,
+        Variant::NativeVia,
+        Variant::Sovia(SoviaConfig::single()),
+        Variant::Sovia(SoviaConfig::flowctrl()),
+        Variant::Sovia(SoviaConfig::dacks()),
+        Variant::Sovia(SoviaConfig::combine()),
+    ]
+}
+
+/// Run Figure 6(a): latency vs message size.
+pub fn run_fig6a(sizes: &[usize]) -> Vec<Series> {
+    fig6a_variants()
+        .iter()
+        .map(|v| Series {
+            name: v.label().to_string(),
+            points: sizes
+                .iter()
+                .map(|&s| (s, micro::latency_us(v, s, LATENCY_ROUNDS)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Run Figure 6(b): bandwidth vs message size.
+pub fn run_fig6b(sizes: &[usize]) -> Vec<Series> {
+    fig6b_variants()
+        .iter()
+        .map(|v| Series {
+            name: v.label().to_string(),
+            points: sizes
+                .iter()
+                .map(|&s| (s, micro::bandwidth_mbps(v, s, bandwidth_total(s))))
+                .collect(),
+        })
+        .collect()
+}

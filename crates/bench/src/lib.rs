@@ -1,0 +1,22 @@
+//! # bench — the experiment harness
+//!
+//! One module per table/figure of the paper, each regenerating the same
+//! rows/series from the simulated platform:
+//!
+//! * [`figures`] — Figure 6(a) latency and 6(b) bandwidth sweeps;
+//! * [`table1`] — the FTP file-transfer table;
+//! * [`fig7`] — the RPC elapsed-time figure;
+//! * [`ablate`] — parameter sweeps for the design choices (w, t, the
+//!   2 KB copy threshold, the handler-thread penalty);
+//! * [`micro`] — the underlying ping-pong / streaming measurement engine.
+//!
+//! Binaries `fig6a`, `fig6b`, `table1`, `fig7` and `ablations` print the
+//! paper-style tables; Criterion benches wrap representative points.
+
+#![warn(missing_docs)]
+
+pub mod ablate;
+pub mod fig7;
+pub mod figures;
+pub mod micro;
+pub mod table1;

@@ -1,0 +1,409 @@
+//! The microbenchmarks of Section 5.2: ping-pong latency and
+//! unidirectional bandwidth, for every transport variant in Figure 6.
+//!
+//! Each measurement point runs in a **fresh simulation** (fully
+//! deterministic, no cross-talk between points). "TCP" means TCP over the
+//! LANE driver on cLAN, as in the paper's Figure 6.
+
+use std::sync::Arc;
+
+use dsim::{SimDuration, Simulation};
+use parking_lot::Mutex;
+use simos::HostId;
+use sockets::{api, SockAddr, SockOption, SockType};
+use sovia::SoviaConfig;
+use sovia_repro::testbed;
+use via::{Descriptor, MemRegion, ViAttributes, ViaNic, ViaNicId, WaitMode};
+
+/// The transport variants of Figure 6.
+#[derive(Debug, Clone)]
+pub enum Variant {
+    /// TCP over the LANE kernel driver on cLAN (`TCP_NODELAY` for latency).
+    TcpLane,
+    /// Raw VIPL (no sockets layer at all).
+    NativeVia,
+    /// SOVIA with a given configuration (the SINGLE/HANDLER/FLOWCTRL/
+    /// DACKS/COMBINE ladder).
+    Sovia(SoviaConfig),
+}
+
+impl Variant {
+    /// Label used in the printed tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::TcpLane => "TCP",
+            Variant::NativeVia => "NATIVE_VIA",
+            Variant::Sovia(c) => {
+                if c.mode == sovia::ReceiveMode::HandlerThread {
+                    "SOVIA_HANDLER"
+                } else if c.combine_small {
+                    "SOVIA_COMBINE"
+                } else if c.delayed_acks {
+                    "SOVIA_DACKS"
+                } else if c.flow_control {
+                    "SOVIA_FLOWCTRL"
+                } else {
+                    "SOVIA_SINGLE"
+                }
+            }
+        }
+    }
+}
+
+/// One measured series: `(message size, value)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Series label (the figure legend entry).
+    pub name: String,
+    /// Measurement points.
+    pub points: Vec<(usize, f64)>,
+}
+
+const PORT: u16 = 9000;
+
+/// Half mean round-trip time for `size`-byte messages, in µs.
+pub fn latency_us(variant: &Variant, size: usize, rounds: u32) -> f64 {
+    match variant {
+        Variant::NativeVia => native_via_latency_us(size, rounds),
+        Variant::TcpLane => socket_latency_us(None, size, rounds),
+        Variant::Sovia(config) => socket_latency_us(Some(config.clone()), size, rounds),
+    }
+}
+
+/// Unidirectional bandwidth in Mb/s streaming `total` bytes in
+/// `size`-byte sends.
+pub fn bandwidth_mbps(variant: &Variant, size: usize, total: usize) -> f64 {
+    match variant {
+        Variant::NativeVia => native_via_bandwidth_mbps(size, total),
+        Variant::TcpLane => socket_bandwidth_mbps(None, size, total),
+        Variant::Sovia(config) => socket_bandwidth_mbps(Some(config.clone()), size, total),
+    }
+}
+
+// ----- sockets-based (TCP / SOVIA) ------------------------------------------
+
+/// `config: None` = TCP over LANE; `Some` = SOVIA with that config.
+fn socket_latency_us(config: Option<SoviaConfig>, size: usize, rounds: u32) -> f64 {
+    let out = Arc::new(Mutex::new(0f64));
+    let sim = Simulation::new();
+    let stype = if config.is_some() {
+        SockType::Via
+    } else {
+        SockType::Stream
+    };
+    let run = {
+        let out = Arc::clone(&out);
+        move |ctx: &dsim::SimCtx, m0: simos::Machine, m1: simos::Machine| {
+            let (cp, sp) = testbed::procs(&m0, &m1);
+            // Server: echo `rounds + 1` messages (one warm-up).
+            {
+                let h = ctx.handle().clone();
+                h.spawn("pong", move |sctx| {
+                    let s = api::socket(sctx, &sp, stype).unwrap();
+                    api::bind(sctx, &sp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+                    api::listen(sctx, &sp, s, 1).unwrap();
+                    let (c, _) = api::accept(sctx, &sp, s).unwrap();
+                    // The paper's latency figure runs TCP with TCP_NODELAY;
+                    // SOVIA variants keep their configured behavior (the
+                    // COMBINE series exists to show the timer cost).
+                    if stype == SockType::Stream {
+                        api::set_option(sctx, &sp, c, SockOption::NoDelay(true)).unwrap();
+                    }
+                    for _ in 0..=rounds {
+                        let msg = api::recv_exact(sctx, &sp, c, size).unwrap();
+                        if msg.len() < size {
+                            break;
+                        }
+                        api::send_all(sctx, &sp, c, &msg).unwrap();
+                    }
+                    api::close(sctx, &sp, c).unwrap();
+                    api::close(sctx, &sp, s).unwrap();
+                });
+            }
+            let out = Arc::clone(&out);
+            ctx.handle().spawn("ping", move |cctx| {
+                cctx.sleep(SimDuration::from_millis(1));
+                let s = api::socket(cctx, &cp, stype).unwrap();
+                api::connect(cctx, &cp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+                if stype == SockType::Stream {
+                    api::set_option(cctx, &cp, s, SockOption::NoDelay(true)).unwrap();
+                }
+                let msg = vec![0xA5u8; size];
+                // Warm-up.
+                api::send_all(cctx, &cp, s, &msg).unwrap();
+                let _ = api::recv_exact(cctx, &cp, s, size).unwrap();
+                let t0 = cctx.now();
+                for _ in 0..rounds {
+                    api::send_all(cctx, &cp, s, &msg).unwrap();
+                    let _ = api::recv_exact(cctx, &cp, s, size).unwrap();
+                }
+                let rtt_us = cctx.now().since(t0).as_micros_f64() / f64::from(rounds);
+                *out.lock() = rtt_us / 2.0;
+                api::close(cctx, &cp, s).unwrap();
+            });
+        }
+    };
+    match config {
+        Some(cfg) => {
+            let (m0, m1) = testbed::sovia_pair(&sim.handle(), cfg);
+            sim.spawn("bootstrap", move |ctx| run(ctx, m0, m1));
+        }
+        None => testbed::clan_dual_stack(&sim, SoviaConfig::combine(), run),
+    }
+    sim.run().expect("latency simulation failed");
+    let v = *out.lock();
+    v
+}
+
+fn socket_bandwidth_mbps(config: Option<SoviaConfig>, size: usize, total: usize) -> f64 {
+    let out = Arc::new(Mutex::new(0f64));
+    let sim = Simulation::new();
+    let stype = if config.is_some() {
+        SockType::Via
+    } else {
+        SockType::Stream
+    };
+    let msgs = total.div_ceil(size);
+    let total = msgs * size;
+    let run = {
+        let out = Arc::clone(&out);
+        move |ctx: &dsim::SimCtx, m0: simos::Machine, m1: simos::Machine| {
+            let (cp, sp) = testbed::procs(&m0, &m1);
+            {
+                // Steady-state bandwidth is measured at the sink, from the
+                // first to the last received byte. The paper streams "for
+                // a given time", amortizing TCP's Nagle/delayed-ACK tail
+                // stall; a finite transfer must exclude that tail instead.
+                let out = Arc::clone(&out);
+                let h = ctx.handle().clone();
+                h.spawn("sink", move |sctx| {
+                    let s = api::socket(sctx, &sp, stype).unwrap();
+                    api::bind(sctx, &sp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+                    api::listen(sctx, &sp, s, 1).unwrap();
+                    let (c, _) = api::accept(sctx, &sp, s).unwrap();
+                    // The paper's footnote: socket buffer raised to the
+                    // maximum (131,170) for the bandwidth measurement.
+                    api::set_option(sctx, &sp, c, SockOption::RecvBuf(131_170)).unwrap();
+                    // Steady-state window: time the last 75% of the
+                    // bytes, skipping connection ramp (slow start, the
+                    // first Nagle/delayed-ACK interlock).
+                    let skip = total / 4;
+                    let mut got = 0usize;
+                    let mut mark: Option<(dsim::SimTime, usize)> = None;
+                    let mut t_last = sctx.now();
+                    while got < total {
+                        let d = api::recv(sctx, &sp, c, 16 * 1024).unwrap();
+                        if d.is_empty() {
+                            break;
+                        }
+                        got += d.len();
+                        t_last = sctx.now();
+                        if mark.is_none() && got >= skip {
+                            mark = Some((t_last, got));
+                        }
+                    }
+                    if let Some((t_mark, got_mark)) = mark {
+                        let secs = t_last.since(t_mark).as_secs_f64();
+                        if secs > 0.0 {
+                            *out.lock() = (got - got_mark) as f64 * 8.0 / secs / 1e6;
+                        }
+                    }
+                    // The terminating application-level acknowledgment.
+                    api::send_all(sctx, &sp, c, b"A").unwrap();
+                    api::close(sctx, &sp, c).unwrap();
+                    api::close(sctx, &sp, s).unwrap();
+                });
+            }
+            ctx.handle().spawn("source", move |cctx| {
+                cctx.sleep(SimDuration::from_millis(1));
+                let s = api::socket(cctx, &cp, stype).unwrap();
+                api::set_option(cctx, &cp, s, SockOption::SendBuf(131_170)).unwrap();
+                api::connect(cctx, &cp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+                let msg = vec![0x5Au8; size];
+                for _ in 0..msgs {
+                    api::send_all(cctx, &cp, s, &msg).unwrap();
+                }
+                // Wait for the receiver's acknowledgment (paper method).
+                let _ = api::recv_exact(cctx, &cp, s, 1).unwrap();
+                api::close(cctx, &cp, s).unwrap();
+            });
+        }
+    };
+    match config {
+        Some(cfg) => {
+            let (m0, m1) = testbed::sovia_pair(&sim.handle(), cfg);
+            sim.spawn("bootstrap", move |ctx| run(ctx, m0, m1));
+        }
+        None => testbed::clan_dual_stack(&sim, SoviaConfig::combine(), run),
+    }
+    sim.run().expect("bandwidth simulation failed");
+    let v = *out.lock();
+    v
+}
+
+// ----- native VIA (raw VIPL) --------------------------------------------------
+
+fn native_via_latency_us(size: usize, rounds: u32) -> f64 {
+    let sim = Simulation::new();
+    let (m0, m1) = testbed::clan_pair(&sim.handle());
+    let n0 = ViaNic::of(&m0);
+    let n1 = ViaNic::of(&m1);
+    let out = Arc::new(Mutex::new(0f64));
+    let cap = size.max(64);
+    {
+        let n1 = Arc::clone(&n1);
+        let m1 = m1.clone();
+        sim.spawn("pong", move |ctx| {
+            let p = m1.spawn_process("pong");
+            let vi = n1.create_vi(ViAttributes::default());
+            n1.listen(1);
+            let va = p.alloc(ctx, cap.max(4096));
+            let region = MemRegion::register(ctx, &p, va, cap.max(4096));
+            for _ in 0..=rounds + 1 {
+                vi.post_recv(ctx, Descriptor::recv(Arc::clone(&region), 0, cap))
+                    .unwrap();
+            }
+            let pending = n1.connect_wait(ctx, 1);
+            n1.connect_accept(ctx, &pending, &vi).unwrap();
+            let sva = p.alloc(ctx, cap.max(4096));
+            let sregion = MemRegion::register(ctx, &p, sva, cap.max(4096));
+            for _ in 0..=rounds {
+                let _ = vi.recv_wait(ctx, WaitMode::Poll).unwrap();
+                vi.post_send(ctx, Descriptor::send(Arc::clone(&sregion), 0, size, None))
+                    .unwrap();
+            }
+        });
+    }
+    {
+        let n0 = Arc::clone(&n0);
+        let m0 = m0.clone();
+        let out = Arc::clone(&out);
+        sim.spawn("ping", move |ctx| {
+            let p = m0.spawn_process("ping");
+            let vi = n0.create_vi(ViAttributes::default());
+            let va = p.alloc(ctx, cap.max(4096));
+            let region = MemRegion::register(ctx, &p, va, cap.max(4096));
+            for _ in 0..=rounds + 1 {
+                vi.post_recv(ctx, Descriptor::recv(Arc::clone(&region), 0, cap))
+                    .unwrap();
+            }
+            ctx.sleep(SimDuration::from_millis(1));
+            n0.connect_request(ctx, &vi, ViaNicId(1), 1).unwrap();
+            let sva = p.alloc(ctx, cap.max(4096));
+            let sregion = MemRegion::register(ctx, &p, sva, cap.max(4096));
+            // Warm-up round.
+            vi.post_send(ctx, Descriptor::send(Arc::clone(&sregion), 0, size, None))
+                .unwrap();
+            let _ = vi.recv_wait(ctx, WaitMode::Poll).unwrap();
+            let t0 = ctx.now();
+            for _ in 0..rounds {
+                vi.post_send(ctx, Descriptor::send(Arc::clone(&sregion), 0, size, None))
+                    .unwrap();
+                let _ = vi.recv_wait(ctx, WaitMode::Poll).unwrap();
+            }
+            let rtt_us = ctx.now().since(t0).as_micros_f64() / f64::from(rounds);
+            *out.lock() = rtt_us / 2.0;
+        });
+    }
+    sim.run().expect("native VIA latency simulation failed");
+    let v = *out.lock();
+    v
+}
+
+fn native_via_bandwidth_mbps(size: usize, total: usize) -> f64 {
+    let sim = Simulation::new();
+    let (m0, m1) = testbed::clan_pair(&sim.handle());
+    let n0 = ViaNic::of(&m0);
+    let n1 = ViaNic::of(&m1);
+    let out = Arc::new(Mutex::new(0f64));
+    let msgs = total.div_ceil(size);
+    let total = msgs * size;
+    // A descriptor ring deep enough to keep the NIC busy.
+    let ring = 64usize.min(msgs + 1);
+    {
+        let n1 = Arc::clone(&n1);
+        let m1 = m1.clone();
+        sim.spawn("sink", move |ctx| {
+            let p = m1.spawn_process("sink");
+            let vi = n1.create_vi(ViAttributes::default());
+            n1.listen(1);
+            let va = p.alloc(ctx, ring * size.max(64));
+            let region = MemRegion::register(ctx, &p, va, ring * size.max(64));
+            for i in 0..ring {
+                vi.post_recv(
+                    ctx,
+                    Descriptor::recv(Arc::clone(&region), i * size.max(64), size.max(64)),
+                )
+                .unwrap();
+            }
+            let pending = n1.connect_wait(ctx, 1);
+            n1.connect_accept(ctx, &pending, &vi).unwrap();
+            for _ in 0..msgs {
+                let done = vi.recv_wait(ctx, WaitMode::Poll).unwrap();
+                // Recycle the descriptor's slot immediately.
+                let fresh = Descriptor::recv(
+                    Arc::clone(&done.region),
+                    done.offset,
+                    size.max(64),
+                );
+                vi.post_recv(ctx, fresh).unwrap();
+            }
+        });
+    }
+    {
+        let n0 = Arc::clone(&n0);
+        let m0 = m0.clone();
+        let out = Arc::clone(&out);
+        sim.spawn("source", move |ctx| {
+            let p = m0.spawn_process("source");
+            let vi = n0.create_vi(ViAttributes::default());
+            ctx.sleep(SimDuration::from_millis(1));
+            n0.connect_request(ctx, &vi, ViaNicId(1), 1).unwrap();
+            let va = p.alloc(ctx, size.max(64));
+            let region = MemRegion::register(ctx, &p, va, size.max(64));
+            let t0 = ctx.now();
+            let mut outstanding = 0usize;
+            for _ in 0..msgs {
+                // Keep up to `ring` sends in flight without overrunning
+                // the receiver's descriptor recycling.
+                while outstanding >= ring - 1 {
+                    let _ = vi.send_wait(ctx, WaitMode::Poll).unwrap();
+                    outstanding -= 1;
+                }
+                vi.post_send(ctx, Descriptor::send(Arc::clone(&region), 0, size, None))
+                    .unwrap();
+                outstanding += 1;
+            }
+            while outstanding > 0 {
+                let _ = vi.send_wait(ctx, WaitMode::Poll).unwrap();
+                outstanding -= 1;
+            }
+            let secs = ctx.now().since(t0).as_secs_f64();
+            *out.lock() = total as f64 * 8.0 / secs / 1e6;
+        });
+    }
+    sim.run().expect("native VIA bandwidth simulation failed");
+    let v = *out.lock();
+    v
+}
+
+/// Render a figure-style table: one row per size, one column per series.
+pub fn render_table(title: &str, unit: &str, sizes: &[usize], series: &[Series]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let width = series.iter().map(|s| s.name.len() + 3).max().unwrap_or(15).max(15);
+    let _ = write!(out, "{:>8}", "size");
+    for s in series {
+        let _ = write!(out, "{:>width$}", s.name);
+    }
+    let _ = writeln!(out, "    ({unit})");
+    for (i, size) in sizes.iter().enumerate() {
+        let _ = write!(out, "{size:>8}");
+        for s in series {
+            let _ = write!(out, "{:>width$.1}", s.points[i].1);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}

@@ -1,0 +1,219 @@
+//! SOVIA configuration: every optimization of Section 3 is a toggle, so
+//! the microbenchmarks can measure exactly the series of Figure 6.
+
+use dsim::SimDuration;
+
+/// How incoming completions are serviced (Section 3.1,
+/// "Single-threading vs. Multi-threading").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceiveMode {
+    /// The application thread services the completion queue inside
+    /// `send()`/`recv()`/`close()` — SOVIA's choice (SOVIA_SINGLE).
+    SingleThreaded,
+    /// A dedicated handler thread blocks on the CQ and signals the
+    /// application thread — pays the Linux thread-synchronization cost on
+    /// every message (SOVIA_HANDLER).
+    HandlerThread,
+}
+
+/// Tunable parameters of the SOVIA layer.
+#[derive(Debug, Clone)]
+pub struct SoviaConfig {
+    /// Completion servicing mode.
+    pub mode: ReceiveMode,
+    /// Sliding-window flow control (Section 3.2). When off, the sender
+    /// stops and waits for an ACK after every DATA packet (window = 1).
+    pub flow_control: bool,
+    /// Window size `w`: DATA packets in flight without an acknowledgment.
+    pub window: u32,
+    /// Delayed acknowledgments: coalesce up to `ack_threshold` ACKs and
+    /// piggyback on reverse-direction DATA.
+    pub delayed_acks: bool,
+    /// Threshold `t` (< `window`): send an ACK once `t` acknowledgments
+    /// are pending.
+    pub ack_threshold: u32,
+    /// Combine consecutive small sends into one packet (the Nagle-like
+    /// algorithm of Section 3.2).
+    pub combine_small: bool,
+    /// Timer after which a partially filled combine buffer is flushed.
+    pub combine_timeout: SimDuration,
+    /// CPU cost of arming/managing the combine software timer (the paper's
+    /// "1–2 µsec to manage a software timer").
+    pub combine_timer_cost: SimDuration,
+    /// Messages up to this size are copied into a pre-registered buffer;
+    /// larger ones are registered and sent zero-copy (Section 3.1,
+    /// "Memory registration vs. copying"; the paper picks 2 KB).
+    pub copy_threshold: usize,
+    /// Message chunk size: sends are fragmented to this, and it bounds how
+    /// much combining may accumulate (the paper: 32 KB).
+    pub chunk_size: usize,
+    /// Allocate descriptors and bounce buffers on shared-memory segments
+    /// so fork() does not un-map them from under the NIC (Section 4.3).
+    /// Turn off to reproduce the Figure 5 corruption.
+    pub use_shared_segments: bool,
+    /// Ask the receiver for permission (a REQ/ACK exchange) before every
+    /// DATA packet — the conservative way to satisfy the pre-posting
+    /// constraint that Section 3.1 describes and rejects: "this overhead
+    /// has a substantial impact on the latency especially for small
+    /// messages". Kept as an ablation.
+    pub explicit_handshake: bool,
+}
+
+impl SoviaConfig {
+    /// SOVIA_SINGLE: single-threaded, conditional sender-side buffering,
+    /// stop-and-wait (no window), per-packet ACKs, no combining.
+    pub fn single() -> SoviaConfig {
+        SoviaConfig {
+            mode: ReceiveMode::SingleThreaded,
+            flow_control: false,
+            window: 1,
+            delayed_acks: false,
+            ack_threshold: 1,
+            combine_small: false,
+            combine_timeout: SimDuration::from_millis(100),
+            combine_timer_cost: SimDuration::from_micros_f64(1.5),
+            copy_threshold: 2048,
+            chunk_size: 32 * 1024,
+            use_shared_segments: true,
+            explicit_handshake: false,
+        }
+    }
+
+    /// The rejected REQ/ACK design: `single` plus an explicit permission
+    /// round trip before every DATA packet.
+    pub fn reqack() -> SoviaConfig {
+        SoviaConfig {
+            explicit_handshake: true,
+            ..SoviaConfig::single()
+        }
+    }
+
+    /// SOVIA_HANDLER: like `single`, but a dedicated handler thread
+    /// services completions.
+    pub fn handler() -> SoviaConfig {
+        SoviaConfig {
+            mode: ReceiveMode::HandlerThread,
+            ..SoviaConfig::single()
+        }
+    }
+
+    /// SOVIA_FLOWCTRL: `single` + sliding-window flow control (w = 32).
+    pub fn flowctrl() -> SoviaConfig {
+        SoviaConfig {
+            flow_control: true,
+            window: 32,
+            ..SoviaConfig::single()
+        }
+    }
+
+    /// SOVIA_DACKS: `flowctrl` + delayed acknowledgments (t = 16).
+    pub fn dacks() -> SoviaConfig {
+        SoviaConfig {
+            delayed_acks: true,
+            ack_threshold: 16,
+            ..SoviaConfig::flowctrl()
+        }
+    }
+
+    /// SOVIA_COMBINE: `dacks` + small-message combining — the full SOVIA
+    /// layer, and the default.
+    pub fn combine() -> SoviaConfig {
+        SoviaConfig {
+            combine_small: true,
+            ..SoviaConfig::dacks()
+        }
+    }
+
+    /// Effective window (1 when flow control is off).
+    pub fn effective_window(&self) -> u32 {
+        if self.flow_control {
+            self.window.max(1)
+        } else {
+            1
+        }
+    }
+
+    /// Receive descriptors pre-posted per VI: the data window plus a pool
+    /// for control packets (ACK/WAKEUP/FIN/FINACK), which are re-posted as
+    /// soon as they are processed. Worst case in flight toward one end:
+    /// `w` DATA + `w` ACKs + connection control.
+    pub fn prepost_count(&self) -> usize {
+        (2 * self.effective_window() as usize) + 4
+    }
+
+    /// Sanity-check invariants (t < w, threshold <= chunk).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.flow_control && self.delayed_acks && self.ack_threshold >= self.window {
+            return Err(format!(
+                "ack_threshold ({}) must be < window ({})",
+                self.ack_threshold, self.window
+            ));
+        }
+        if self.copy_threshold > self.chunk_size {
+            return Err("copy_threshold exceeds chunk_size".into());
+        }
+        if self.chunk_size == 0 || self.window == 0 {
+            return Err("zero chunk_size or window".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SoviaConfig {
+    fn default() -> Self {
+        SoviaConfig::combine()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_form_the_figure6_ladder() {
+        let single = SoviaConfig::single();
+        assert_eq!(single.effective_window(), 1);
+        assert!(!single.delayed_acks && !single.combine_small);
+
+        let fc = SoviaConfig::flowctrl();
+        assert_eq!(fc.effective_window(), 32);
+        assert!(!fc.delayed_acks);
+
+        let da = SoviaConfig::dacks();
+        assert!(da.flow_control && da.delayed_acks && !da.combine_small);
+        assert_eq!(da.ack_threshold, 16);
+
+        let co = SoviaConfig::combine();
+        assert!(co.combine_small && co.delayed_acks && co.flow_control);
+
+        for c in [single, fc, da, co, SoviaConfig::handler()] {
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn paper_constants() {
+        let c = SoviaConfig::default();
+        assert_eq!(c.copy_threshold, 2048);
+        assert_eq!(c.chunk_size, 32 * 1024);
+        assert_eq!(c.window, 32);
+        assert_eq!(c.ack_threshold, 16);
+        assert_eq!(c.combine_timeout, SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn invalid_threshold_rejected() {
+        let c = SoviaConfig {
+            ack_threshold: 40,
+            ..SoviaConfig::dacks()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn prepost_covers_worst_case_bursts() {
+        let c = SoviaConfig::dacks();
+        // w DATA + w ACKs + FIN + FINACK + WAKEUP fits.
+        assert!(c.prepost_count() >= 2 * 32 + 3);
+    }
+}

@@ -1,0 +1,314 @@
+//! The per-process SOVIA library instance.
+//!
+//! Owns the shared completion queue, the VI→connection table, and the
+//! service machinery for both receive modes:
+//!
+//! * **single-threaded** (SOVIA's design): the application thread itself
+//!   services completions inside `send()`/`recv()`/`accept()`, polling the
+//!   CQ; a *close thread* takes over only when the application holds no
+//!   more open sockets, to drain FIN/FINACK traffic (Section 4.1);
+//! * **handler-thread** (the rejected design, kept for the Figure 6
+//!   comparison): a dedicated thread blocks on the CQ and signals the
+//!   application, paying `thread_wake` on every message.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dsim::sync::{SimCondvar, SimQueue};
+use dsim::{SimCtx, SimHandle, TimerGuard};
+use parking_lot::Mutex;
+use simos::{HostCosts, Process};
+use via::{CompletionQueue, ViaNic, WaitMode};
+
+use crate::config::{ReceiveMode, SoviaConfig};
+use crate::conn::SovConn;
+
+/// The SOVIA library state of one process.
+pub struct SoviaLib {
+    process: Process,
+    nic: Arc<ViaNic>,
+    config: SoviaConfig,
+    costs: HostCosts,
+    sim: SimHandle,
+    cq: Arc<CompletionQueue>,
+    conns: Mutex<HashMap<u32, Arc<SovConn>>>,
+    /// Notified whenever anything that could unblock a waiter happened:
+    /// a CQ push (single mode), a processed packet, an accept-queue push.
+    progress_cv: SimCondvar,
+    /// Sockets the application has not closed yet.
+    active_sockets: Mutex<i64>,
+    /// Established connections not yet fully torn down.
+    open_conns: Mutex<i64>,
+    /// Gate for the close thread.
+    activation_cv: SimCondvar,
+    /// Combine-timer expirations to be executed with a real context.
+    timer_q: Arc<SimQueue<(Arc<SovConn>, u64)>>,
+    /// Ephemeral local port allocator.
+    next_port: Mutex<u16>,
+    /// Library-internal socket descriptor numbers (carried in WAKEUP).
+    next_sockdes: Mutex<i32>,
+}
+
+impl SoviaLib {
+    /// Get or initialize the SOVIA library of `process` (spawning its
+    /// service threads on first use).
+    pub fn init(process: &Process, config: SoviaConfig) -> Arc<SoviaLib> {
+        process.ext().get_or_init(|| {
+            config.validate().expect("invalid SOVIA configuration");
+            let machine = process.machine();
+            let nic = ViaNic::of(machine);
+            let sim = machine.sim().clone();
+            let cq = CompletionQueue::new(&sim);
+            let lib = Arc::new(SoviaLib {
+                process: process.clone(),
+                nic,
+                costs: machine.costs().clone(),
+                sim: sim.clone(),
+                cq: Arc::clone(&cq),
+                conns: Mutex::new(HashMap::new()),
+                progress_cv: SimCondvar::new(&sim),
+                active_sockets: Mutex::new(0),
+                open_conns: Mutex::new(0),
+                activation_cv: SimCondvar::new(&sim),
+                timer_q: SimQueue::new(&sim),
+                next_port: Mutex::new(32_768),
+                next_sockdes: Mutex::new(3),
+                config,
+            });
+            lib.start_threads();
+            lib
+        })
+    }
+
+    /// The library of a process, if initialized.
+    pub fn get(process: &Process) -> Option<Arc<SoviaLib>> {
+        process.ext().get::<SoviaLib>()
+    }
+
+    /// The owning process.
+    pub fn process(&self) -> &Process {
+        &self.process
+    }
+
+    /// The VIA NIC in use.
+    pub fn nic(&self) -> &Arc<ViaNic> {
+        &self.nic
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SoviaConfig {
+        &self.config
+    }
+
+    /// The shared recv completion queue (VIs attach to it at creation).
+    pub fn cq(&self) -> &Arc<CompletionQueue> {
+        &self.cq
+    }
+
+    /// Simulation handle.
+    pub fn sim(&self) -> &SimHandle {
+        &self.sim
+    }
+
+    /// Allocate a library-internal socket descriptor number (the WAKEUP
+    /// packet reports it to the peer, as the paper's does).
+    pub(crate) fn alloc_sockdes(&self) -> i32 {
+        let mut n = self.next_sockdes.lock();
+        *n += 1;
+        *n
+    }
+
+    /// Allocate an ephemeral local port.
+    pub(crate) fn alloc_port(&self) -> u16 {
+        let mut p = self.next_port.lock();
+        *p = p.wrapping_add(1).max(32_768);
+        *p
+    }
+
+    fn start_threads(self: &Arc<Self>) {
+        match self.config.mode {
+            ReceiveMode::SingleThreaded => {
+                // The CQ push hook wakes progress waiters (they poll).
+                let cv_lib = Arc::downgrade(self);
+                self.cq.set_notify(move || {
+                    if let Some(lib) = cv_lib.upgrade() {
+                        lib.progress_cv.notify_all();
+                    }
+                });
+                // The close thread (Section 4.1, Figure 3).
+                let lib = Arc::clone(self);
+                self.sim
+                    .spawn_daemon(format!("sovia-close-{}", self.process.pid()), move |ctx| {
+                        lib.close_thread_main(ctx);
+                    });
+            }
+            ReceiveMode::HandlerThread => {
+                let lib = Arc::clone(self);
+                self.sim
+                    .spawn_daemon(format!("sovia-handler-{}", self.process.pid()), move |ctx| {
+                        lib.handler_thread_main(ctx);
+                    });
+            }
+        }
+        if self.config.combine_small {
+            let lib = Arc::clone(self);
+            self.sim
+                .spawn_daemon(format!("sovia-timer-{}", self.process.pid()), move |ctx| {
+                    lib.timer_thread_main(ctx);
+                });
+        }
+    }
+
+    // ----- connection registry -------------------------------------------
+
+    pub(crate) fn insert_conn(&self, conn: Arc<SovConn>) {
+        self.conns.lock().insert(conn.vi_id(), conn);
+        *self.open_conns.lock() += 1;
+        self.activation_cv.notify_all();
+    }
+
+    pub(crate) fn remove_conn(&self, vi_id: u32) {
+        self.conns.lock().remove(&vi_id);
+    }
+
+    pub(crate) fn conn_finalized(&self) {
+        *self.open_conns.lock() -= 1;
+        self.activation_cv.notify_all();
+        self.notify_progress();
+    }
+
+    pub(crate) fn socket_opened(&self) {
+        *self.active_sockets.lock() += 1;
+        self.activation_cv.notify_all();
+    }
+
+    pub(crate) fn socket_closed(&self) {
+        let mut n = self.active_sockets.lock();
+        *n -= 1;
+        debug_assert!(*n >= 0);
+        drop(n);
+        self.activation_cv.notify_all();
+    }
+
+    /// Number of connections not yet torn down (diagnostics).
+    pub fn open_conn_count(&self) -> i64 {
+        *self.open_conns.lock()
+    }
+
+    // ----- servicing -------------------------------------------------------
+
+    /// Flush every connection's pending combine buffer. The paper's flush
+    /// condition (4) — "when the application calls recv() or close()" —
+    /// applies to the application (re)entering the single-threaded
+    /// library, not just the one socket: combined data must not linger
+    /// while the application blocks on another descriptor.
+    pub fn flush_all_combines(&self, ctx: &SimCtx) {
+        self.flush_combines_except(ctx, None);
+    }
+
+    /// Like [`SoviaLib::flush_all_combines`], but leaves one connection's
+    /// buffer alone (a `send()` on that connection is mid-combine).
+    pub fn flush_combines_except(&self, ctx: &SimCtx, except_vi: Option<u32>) {
+        let conns: Vec<Arc<SovConn>> = self.conns.lock().values().cloned().collect();
+        for conn in conns {
+            if Some(conn.vi_id()) == except_vi {
+                continue;
+            }
+            let _ = conn.flush_combine(ctx, self);
+        }
+    }
+
+    /// Process at most one receive completion (non-blocking). Returns true
+    /// if a CQ entry was consumed.
+    pub(crate) fn service_one(&self, ctx: &SimCtx) -> bool {
+        let Some(entry) = self.cq.poll(ctx, &self.costs) else {
+            return false;
+        };
+        let conn = self.conns.lock().get(&entry.vi_id).cloned();
+        if let Some(conn) = conn {
+            conn.process_completion(ctx, self);
+        }
+        true
+    }
+
+    /// Wake everything blocked on library progress. In handler mode the
+    /// wake is delayed by the Linux thread-synchronization cost — the
+    /// SOVIA_HANDLER penalty of Figure 6(a).
+    pub(crate) fn notify_progress(&self) {
+        match self.config.mode {
+            ReceiveMode::SingleThreaded => self.progress_cv.notify_all(),
+            ReceiveMode::HandlerThread => self
+                .progress_cv
+                .notify_all_after(self.costs.thread_wake),
+        }
+    }
+
+    /// Block until progress might have been made; in single-threaded mode
+    /// the caller itself services the completion queue.
+    pub(crate) fn wait_progress(&self, ctx: &SimCtx) {
+        match self.config.mode {
+            ReceiveMode::SingleThreaded => {
+                if self.service_one(ctx) {
+                    return;
+                }
+                self.progress_cv.wait(ctx);
+                ctx.sleep(self.costs.poll_check);
+            }
+            ReceiveMode::HandlerThread => {
+                self.progress_cv.wait(ctx);
+            }
+        }
+    }
+
+    // ----- service threads --------------------------------------------------
+
+    fn close_thread_main(&self, ctx: &SimCtx) {
+        loop {
+            // Suspended while the application holds open sockets (a WAKEUP
+            // means a live connection, so the close thread stands down).
+            loop {
+                let active = *self.active_sockets.lock();
+                let open = *self.open_conns.lock();
+                if active == 0 && open > 0 {
+                    break;
+                }
+                self.activation_cv.wait(ctx);
+            }
+            // Drive the remaining FIN/FINACK exchanges.
+            self.wait_progress(ctx);
+        }
+    }
+
+    fn handler_thread_main(&self, ctx: &SimCtx) {
+        loop {
+            let entry = self.cq.wait(ctx, &self.costs, WaitMode::Block);
+            let conn = self.conns.lock().get(&entry.vi_id).cloned();
+            if let Some(conn) = conn {
+                conn.process_completion(ctx, self);
+            }
+        }
+    }
+
+    fn timer_thread_main(self: &Arc<Self>, ctx: &SimCtx) {
+        loop {
+            let (conn, epoch) = self.timer_q.pop(ctx);
+            conn.flush_if_epoch(ctx, self, epoch);
+        }
+    }
+
+    /// Arm the combine timer for `conn` (condition (1) of Section 3.2).
+    pub(crate) fn arm_combine_timer(&self, conn: &SovConn, epoch: u64) -> TimerGuard {
+        // Find our own Arc via the conns table to avoid an Arc<Self> param
+        // threading through the send path.
+        let conn = self
+            .conns
+            .lock()
+            .get(&conn.vi_id())
+            .cloned()
+            .expect("arming timer for unregistered connection");
+        let q = Arc::clone(&self.timer_q);
+        self.sim.schedule_in(self.config.combine_timeout, move |_| {
+            q.push((conn, epoch));
+        })
+    }
+}

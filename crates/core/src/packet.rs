@@ -1,0 +1,135 @@
+//! SOVIA packet types and their encoding in the VIA descriptor's 32-bit
+//! Immediate Data field.
+//!
+//! Section 3.2: "We utilize the 32-bit Immediate Data field of the
+//! descriptor to record the packet type and the number of delayed
+//! acknowledgments."
+//!
+//! Layout: bits 28..32 = packet type, bits 0..16 = piggybacked ACK count.
+
+use simos::HostId;
+
+/// The five SOVIA packet types (Section 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketType {
+    /// Stream data (payload carried in the VIA message body).
+    Data = 1,
+    /// Window acknowledgment (zero payload; count in the immediate field).
+    Ack = 2,
+    /// Connection-establishment notice carrying the sender's socket
+    /// descriptor, IP address and port.
+    Wakeup = 3,
+    /// Close request.
+    Fin = 4,
+    /// Close acknowledgment.
+    FinAck = 5,
+    /// Explicit transfer request (the three-way handshake SOVIA rejects
+    /// in Section 3.1; kept for the ablation study).
+    Req = 6,
+}
+
+const TYPE_SHIFT: u32 = 28;
+const ACK_MASK: u32 = 0xFFFF;
+
+/// Encode a packet header into immediate data.
+pub fn encode(ptype: PacketType, acks: u32) -> u32 {
+    debug_assert!(acks <= ACK_MASK, "ack count overflow: {acks}");
+    ((ptype as u32) << TYPE_SHIFT) | (acks & ACK_MASK)
+}
+
+/// Decode immediate data into `(type, piggybacked ack count)`.
+pub fn decode(imm: u32) -> Option<(PacketType, u32)> {
+    let ptype = match imm >> TYPE_SHIFT {
+        1 => PacketType::Data,
+        2 => PacketType::Ack,
+        3 => PacketType::Wakeup,
+        4 => PacketType::Fin,
+        5 => PacketType::FinAck,
+        6 => PacketType::Req,
+        _ => return None,
+    };
+    Some((ptype, imm & ACK_MASK))
+}
+
+/// The WAKEUP payload: the sender's socket descriptor, host and port
+/// (12 bytes on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WakeupInfo {
+    /// Sender's socket descriptor number (diagnostics).
+    pub sockdes: i32,
+    /// Sender's host ("IP address").
+    pub host: HostId,
+    /// Sender's port number.
+    pub port: u16,
+}
+
+impl WakeupInfo {
+    /// Serialized size.
+    pub const WIRE_LEN: usize = 12;
+
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[0..4].copy_from_slice(&self.sockdes.to_be_bytes());
+        out[4..8].copy_from_slice(&self.host.0.to_be_bytes());
+        out[8..10].copy_from_slice(&self.port.to_be_bytes());
+        out
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(buf: &[u8]) -> Option<WakeupInfo> {
+        if buf.len() < Self::WIRE_LEN {
+            return None;
+        }
+        Some(WakeupInfo {
+            sockdes: i32::from_be_bytes(buf[0..4].try_into().ok()?),
+            host: HostId(u32::from_be_bytes(buf[4..8].try_into().ok()?)),
+            port: u16::from_be_bytes(buf[8..10].try_into().ok()?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        for (t, acks) in [
+            (PacketType::Data, 0u32),
+            (PacketType::Data, 13),
+            (PacketType::Ack, 16),
+            (PacketType::Wakeup, 0),
+            (PacketType::Fin, 7),
+            (PacketType::FinAck, 0),
+            (PacketType::Req, 0),
+        ] {
+            let imm = encode(t, acks);
+            assert_eq!(decode(imm), Some((t, acks)));
+        }
+    }
+
+    #[test]
+    fn garbage_immediate_rejected() {
+        assert_eq!(decode(0), None);
+        assert_eq!(decode(0xF000_0000), None);
+    }
+
+    #[test]
+    fn wakeup_roundtrip() {
+        let info = WakeupInfo {
+            sockdes: 5,
+            host: HostId(3),
+            port: 2021,
+        };
+        let bytes = info.encode();
+        assert_eq!(WakeupInfo::decode(&bytes), Some(info));
+        assert_eq!(WakeupInfo::decode(&bytes[..4]), None);
+    }
+
+    #[test]
+    fn max_ack_count_fits() {
+        let imm = encode(PacketType::Ack, 0xFFFF);
+        assert_eq!(decode(imm), Some((PacketType::Ack, 0xFFFF)));
+    }
+}

@@ -1,0 +1,340 @@
+//! The `SOCK_VIA` socket object and the connection thread.
+//!
+//! Maps the Sockets connection model onto VIA's (Section 4.1): `listen()`
+//! spawns a *connection thread* that sits in `VipConnectWait`, accepts
+//! each request (`VipConnectAccept`), builds the SOVIA connection, and
+//! queues it for `accept()` — so a client's `connect()` completes even if
+//! the server application has not reached `accept()` yet.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use dsim::sync::SimQueue;
+use dsim::SimCtx;
+use parking_lot::Mutex;
+use simos::Process;
+use sockets::{Shutdown, SockAddr, SockError, SockOption, SockResult, Socket, SocketProvider};
+use via::{ViAttributes, ViaNicId};
+
+use crate::config::SoviaConfig;
+use crate::conn::SovConn;
+use crate::library::SoviaLib;
+
+/// VIA connection discriminator namespace for SOVIA ports ("SV").
+fn discriminator(port: u16) -> u64 {
+    0x5356_0000_u64 | u64::from(port)
+}
+
+/// Host → NIC address convention used by the testbed builders: NIC `n` is
+/// attached to host `n`.
+pub fn nic_of_host(host: simos::HostId) -> ViaNicId {
+    ViaNicId(host.0)
+}
+
+enum State {
+    Fresh,
+    Bound(SockAddr),
+    Listening {
+        addr: SockAddr,
+        accept_q: Arc<SimQueue<Arc<SovConn>>>,
+    },
+    Connected(Arc<SovConn>),
+    Closed,
+}
+
+/// A SOVIA socket (`SOCK_VIA`).
+pub struct SovSocket {
+    lib: Arc<SoviaLib>,
+    state: Mutex<State>,
+    nodelay: AtomicBool,
+}
+
+impl SovSocket {
+    fn new(lib: Arc<SoviaLib>) -> Arc<SovSocket> {
+        lib.socket_opened();
+        Arc::new(SovSocket {
+            lib,
+            state: Mutex::new(State::Fresh),
+            nodelay: AtomicBool::new(false),
+        })
+    }
+
+    fn connected(lib: Arc<SoviaLib>, conn: Arc<SovConn>) -> Arc<SovSocket> {
+        lib.socket_opened();
+        Arc::new(SovSocket {
+            lib,
+            state: Mutex::new(State::Connected(conn)),
+            nodelay: AtomicBool::new(false),
+        })
+    }
+
+    fn conn(&self) -> SockResult<Arc<SovConn>> {
+        match &*self.state.lock() {
+            State::Connected(c) => Ok(Arc::clone(c)),
+            State::Closed => Err(SockError::Closed),
+            _ => Err(SockError::NotConnected),
+        }
+    }
+
+    /// The underlying connection (tests/diagnostics).
+    pub fn connection(&self) -> Option<Arc<SovConn>> {
+        match &*self.state.lock() {
+            State::Connected(c) => Some(Arc::clone(c)),
+            _ => None,
+        }
+    }
+}
+
+impl Socket for SovSocket {
+    fn bind(&self, _ctx: &SimCtx, addr: SockAddr) -> SockResult<()> {
+        let mut st = self.state.lock();
+        match &*st {
+            State::Fresh => {
+                *st = State::Bound(addr);
+                Ok(())
+            }
+            _ => Err(SockError::InvalidState),
+        }
+    }
+
+    fn listen(&self, _ctx: &SimCtx, _backlog: usize) -> SockResult<()> {
+        let mut st = self.state.lock();
+        let addr = match &*st {
+            State::Bound(a) => *a,
+            _ => return Err(SockError::InvalidState),
+        };
+        let accept_q: Arc<SimQueue<Arc<SovConn>>> = SimQueue::new(self.lib.sim());
+        // Register the VIA listener *before* the connection thread runs so
+        // an immediate client request is never refused. The thread pops
+        // this queue directly; after unlisten() it parks forever.
+        let Some(pending_q) = self.lib.nic().listen_exclusive(discriminator(addr.port)) else {
+            return Err(SockError::AddrInUse);
+        };
+        {
+            let lib = Arc::clone(&self.lib);
+            let q = Arc::clone(&accept_q);
+            // The connection thread of Figure 3(a).
+            self.lib.sim().spawn_daemon(
+                format!("sovia-conn-{}:{}", lib.process().pid(), addr.port),
+                move |tctx| {
+                    connection_thread(&lib, tctx, addr, pending_q, q);
+                },
+            );
+        }
+        *st = State::Listening { addr, accept_q };
+        Ok(())
+    }
+
+    fn accept(&self, ctx: &SimCtx) -> SockResult<(Arc<dyn Socket>, SockAddr)> {
+        let accept_q = match &*self.state.lock() {
+            State::Listening { accept_q, .. } => Arc::clone(accept_q),
+            State::Closed => return Err(SockError::Closed),
+            _ => return Err(SockError::InvalidState),
+        };
+        // Entering a blocking call flushes pending combined data on every
+        // connection (flush condition 4, library-wide).
+        self.lib.flush_all_combines(ctx);
+        // Service the library while waiting (single-threaded mode keeps
+        // all protocol progress on application threads).
+        let conn = loop {
+            if let Some(c) = accept_q.try_pop() {
+                break c;
+            }
+            self.lib.wait_progress(ctx);
+        };
+        // Wait for the peer's WAKEUP so the peer address is known.
+        while !conn.wakeup_received() {
+            self.lib.wait_progress(ctx);
+        }
+        let peer = conn.peer_addr().expect("WAKEUP carried no address");
+        let sock = SovSocket::connected(Arc::clone(&self.lib), conn);
+        Ok((sock, peer))
+    }
+
+    fn connect(&self, ctx: &SimCtx, addr: SockAddr) -> SockResult<()> {
+        {
+            let st = self.state.lock();
+            match &*st {
+                State::Fresh | State::Bound(_) => {}
+                _ => return Err(SockError::InvalidState),
+            }
+        }
+        let lib = &self.lib;
+        let local = SockAddr::new(lib.process().machine().id(), lib.alloc_port());
+        let vi = lib.nic().create_vi(ViAttributes {
+            recv_cq: Some(Arc::clone(lib.cq())),
+            ..Default::default()
+        });
+        let conn = SovConn::new(ctx, lib, Arc::clone(&vi), local);
+        // Register before the request: the server's WAKEUP may arrive the
+        // instant the accept completes.
+        lib.insert_conn(Arc::clone(&conn));
+        match lib
+            .nic()
+            .connect_request(ctx, &vi, nic_of_host(addr.host), discriminator(addr.port))
+        {
+            Ok(()) => {}
+            Err(via::VipError::ConnectionRefused) => {
+                lib.remove_conn(vi.id());
+                lib.conn_finalized();
+                return Err(SockError::ConnectionRefused);
+            }
+            Err(_) => {
+                lib.remove_conn(vi.id());
+                lib.conn_finalized();
+                return Err(SockError::ConnectionReset);
+            }
+        }
+        conn.set_peer(addr);
+        conn.set_fd_hint(lib.alloc_sockdes());
+        conn.send_wakeup(ctx, lib)?;
+        *self.state.lock() = State::Connected(conn);
+        Ok(())
+    }
+
+    fn send(&self, ctx: &SimCtx, data: &[u8]) -> SockResult<usize> {
+        let conn = self.conn()?;
+        // Entering the library flushes other connections' combined data;
+        // this connection's buffer follows its own combining rules.
+        self.lib.flush_combines_except(ctx, Some(conn.vi_id()));
+        conn.send(ctx, &self.lib, data, self.nodelay.load(Ordering::Relaxed))
+    }
+
+    fn recv(&self, ctx: &SimCtx, max: usize) -> SockResult<Vec<u8>> {
+        let conn = self.conn()?;
+        // Flush condition (4), library-wide: see `accept`.
+        self.lib.flush_all_combines(ctx);
+        conn.recv(ctx, &self.lib, max)
+    }
+
+    fn shutdown(&self, ctx: &SimCtx, how: Shutdown) -> SockResult<()> {
+        match how {
+            Shutdown::Write => {
+                let conn = self.conn()?;
+                conn.shutdown_write(ctx, &self.lib)
+            }
+        }
+    }
+
+    fn close(&self, ctx: &SimCtx) -> SockResult<()> {
+        let prev = {
+            let mut st = self.state.lock();
+            std::mem::replace(&mut *st, State::Closed)
+        };
+        match prev {
+            State::Connected(conn) => {
+                let r = conn.close(ctx, &self.lib);
+                self.lib.socket_closed();
+                r
+            }
+            State::Listening { addr, .. } => {
+                // Stop accepting; the parked connection thread is reaped at
+                // simulation teardown.
+                self.lib.nic().unlisten(discriminator(addr.port));
+                self.lib.socket_closed();
+                Ok(())
+            }
+            State::Closed => Ok(()),
+            _ => {
+                self.lib.socket_closed();
+                Ok(())
+            }
+        }
+    }
+
+    fn set_option(&self, ctx: &SimCtx, opt: SockOption) -> SockResult<()> {
+        match opt {
+            SockOption::NoDelay(on) => {
+                self.nodelay.store(on, Ordering::Relaxed);
+                if on {
+                    // Like TCP_NODELAY: flush anything already combined.
+                    if let Ok(conn) = self.conn() {
+                        conn.flush_combine(ctx, &self.lib)?;
+                    }
+                }
+                Ok(())
+            }
+            // Buffer sizing is fixed by the window/chunk configuration.
+            SockOption::SendBuf(_) | SockOption::RecvBuf(_) => Ok(()),
+        }
+    }
+
+    fn local_addr(&self) -> Option<SockAddr> {
+        match &*self.state.lock() {
+            State::Bound(a) => Some(*a),
+            State::Listening { addr, .. } => Some(*addr),
+            State::Connected(c) => Some(c.local_addr()),
+            _ => None,
+        }
+    }
+
+    fn peer_addr(&self) -> Option<SockAddr> {
+        match &*self.state.lock() {
+            State::Connected(c) => c.peer_addr(),
+            _ => None,
+        }
+    }
+
+    fn as_any(self: Arc<Self>) -> Arc<dyn std::any::Any + Send + Sync> {
+        self
+    }
+}
+
+/// The per-port connection thread: accept VIA requests behind the
+/// application's back.
+fn connection_thread(
+    lib: &Arc<SoviaLib>,
+    ctx: &SimCtx,
+    addr: SockAddr,
+    pending_q: Arc<SimQueue<via::PendingConn>>,
+    accept_q: Arc<SimQueue<Arc<SovConn>>>,
+) {
+    loop {
+        // VipConnectWait: block for a request, pay the kernel wakeup.
+        let pending = pending_q.pop(ctx);
+        ctx.sleep(lib.process().costs().context_switch);
+        let vi = lib.nic().create_vi(ViAttributes {
+            recv_cq: Some(Arc::clone(lib.cq())),
+            ..Default::default()
+        });
+        // Build first (pre-posts all descriptors), then accept.
+        let conn = SovConn::new(ctx, lib, Arc::clone(&vi), addr);
+        conn.set_fd_hint(lib.alloc_sockdes());
+        lib.insert_conn(Arc::clone(&conn));
+        if lib.nic().connect_accept(ctx, &pending, &vi).is_err() {
+            lib.remove_conn(vi.id());
+            lib.conn_finalized();
+            continue;
+        }
+        if conn.send_wakeup(ctx, lib).is_err() {
+            continue;
+        }
+        accept_q.push(conn);
+        lib.notify_progress();
+    }
+}
+
+/// The `SOCK_VIA` provider registered on a machine.
+pub struct SoviaProvider {
+    config: SoviaConfig,
+}
+
+impl SoviaProvider {
+    /// Create a provider with the given SOVIA configuration.
+    pub fn new(config: SoviaConfig) -> Arc<SoviaProvider> {
+        Arc::new(SoviaProvider { config })
+    }
+}
+
+impl SocketProvider for SoviaProvider {
+    fn create(&self, _ctx: &SimCtx, process: &Process) -> SockResult<Arc<dyn Socket>> {
+        let lib = SoviaLib::init(process, self.config.clone());
+        Ok(SovSocket::new(lib))
+    }
+}
+
+/// Register SOVIA as the `SOCK_VIA` provider on `machine`.
+pub fn register_sovia(machine: &simos::Machine, config: SoviaConfig) {
+    sockets::ProviderRegistry::of(machine)
+        .register(sockets::SockType::Via, SoviaProvider::new(config));
+}

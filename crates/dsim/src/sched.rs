@@ -1,0 +1,902 @@
+//! The discrete-event scheduler.
+//!
+//! # Execution model
+//!
+//! Simulation *processes* are real OS threads, but exactly one of them (or
+//! the coordinator) runs at any instant: control is handed around with a
+//! token-passing handshake. This gives sequential discrete-event semantics —
+//! the simulation is fully deterministic for a given program — while letting
+//! protocol code be written in a natural blocking style (`ctx.sleep(..)`,
+//! `cv.wait(&ctx)`), exactly how the SOVIA paper's threads are written.
+//!
+//! Events live in a binary heap ordered by `(time, sequence)`; the sequence
+//! number breaks ties in schedule order, so same-instant events fire in a
+//! deterministic FIFO order.
+//!
+//! # Wake-up protocol
+//!
+//! Every process has an *epoch* counter. A parked process is woken by an
+//! event that carries the epoch observed when the process parked; delivering
+//! a wake bumps the epoch, so any other pending wake for the same park
+//! (e.g. a timeout racing with a notification) becomes stale and is dropped.
+//! Blocking primitives therefore follow the usual condition-variable rule:
+//! *mutate shared state first, then wake; waiters re-check predicates in a
+//! loop*.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a simulation process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub(crate) u64);
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc#{}", self.0)
+    }
+}
+
+/// Why a parked process resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeReason {
+    /// The process's own `sleep` deadline arrived.
+    Sleep,
+    /// A notification was delivered (condvar/queue/semaphore).
+    Notify,
+    /// A `wait_timeout` deadline fired before any notification.
+    Timeout,
+    /// First scheduling of a newly spawned process.
+    Start,
+    /// The simulation is being torn down; the process must unwind.
+    Shutdown,
+}
+
+/// Error raised by [`Simulation::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No events remain but some processes are still parked.
+    Deadlock {
+        /// Virtual time at which the simulation wedged.
+        at: SimTime,
+        /// Names of the parked processes.
+        parked: Vec<String>,
+    },
+    /// A simulation process panicked.
+    ProcessPanicked {
+        /// Name of the panicking process.
+        name: String,
+        /// Rendered panic payload.
+        message: String,
+    },
+    /// The event-count budget given to [`Simulation::run_with_limit`] was
+    /// exhausted (runaway-simulation guard).
+    EventLimit {
+        /// Virtual time when the budget ran out.
+        at: SimTime,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { at, parked } => {
+                write!(f, "simulation deadlocked at {at}: parked = {parked:?}")
+            }
+            SimError::ProcessPanicked { name, message } => {
+                write!(f, "simulation process `{name}` panicked: {message}")
+            }
+            SimError::EventLimit { at } => {
+                write!(f, "event limit exhausted at {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+enum EventKind {
+    Wake {
+        pid: ProcId,
+        epoch: u64,
+        reason: WakeReason,
+    },
+    Call {
+        cancelled: Arc<AtomicBool>,
+        f: Box<dyn FnOnce(SimTime) + Send>,
+    },
+}
+
+struct EventEntry {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    /// Spawned but not yet started, or parked awaiting a wake event.
+    Parked,
+    /// Currently holding the execution token.
+    Running,
+    /// Finished (returned or panicked).
+    Done,
+}
+
+/// One process's scheduling slot.
+struct ProcSlot {
+    name: String,
+    state: ProcState,
+    epoch: u64,
+    wake_reason: Option<WakeReason>,
+    resume: Arc<Signal>,
+    thread: Option<JoinHandle<()>>,
+    /// Daemons (NIC engines, protocol handler loops) do not keep the
+    /// simulation alive: it completes when all non-daemon processes finish.
+    daemon: bool,
+}
+
+/// A simple binary handshake signal (real condvar, used only for the token
+/// handoff — never for simulated time).
+struct Signal {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Signal {
+    fn new() -> Arc<Signal> {
+        Arc::new(Signal {
+            flag: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn raise(&self) {
+        let mut g = self.flag.lock();
+        *g = true;
+        self.cv.notify_one();
+    }
+
+    fn await_and_clear(&self) {
+        let mut g = self.flag.lock();
+        while !*g {
+            self.cv.wait(&mut g);
+        }
+        *g = false;
+    }
+}
+
+struct SchedState {
+    now: u64,
+    seq: u64,
+    heap: BinaryHeap<EventEntry>,
+    procs: HashMap<u64, ProcSlot>,
+    next_pid: u64,
+    /// Number of processes not yet Done.
+    live: usize,
+    /// Set when the coordinator decides to tear everything down.
+    shutting_down: bool,
+    /// Panic captured from a process, reported by `run`.
+    panic: Option<(String, String)>,
+}
+
+pub(crate) struct SimCore {
+    state: Mutex<SchedState>,
+    /// Raised by a process when it yields the token back to the coordinator.
+    coord: Signal,
+}
+
+impl SimCore {
+    fn schedule_locked(
+        state: &mut SchedState,
+        at: u64,
+        kind: EventKind,
+    ) {
+        let seq = state.seq;
+        state.seq += 1;
+        state.heap.push(EventEntry { time: at, seq, kind });
+    }
+}
+
+/// A cloneable handle onto a running (or not-yet-run) simulation.
+///
+/// Handles can schedule callbacks and construct synchronization primitives;
+/// they do not allow blocking (only a [`SimCtx`], owned by a process, can
+/// block).
+#[derive(Clone)]
+pub struct SimHandle {
+    pub(crate) core: Arc<SimCore>,
+}
+
+impl SimHandle {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.core.state.lock().now)
+    }
+
+    /// Schedule `f` to run on the coordinator at `now + delay`.
+    ///
+    /// The callback must not block; it may mutate shared state and notify
+    /// condition variables. Returns a guard that can cancel the timer.
+    pub fn schedule_in<F>(&self, delay: SimDuration, f: F) -> TimerGuard
+    where
+        F: FnOnce(SimTime) + Send + 'static,
+    {
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let mut st = self.core.state.lock();
+        let at = st.now + delay.as_nanos();
+        SimCore::schedule_locked(
+            &mut st,
+            at,
+            EventKind::Call {
+                cancelled: Arc::clone(&cancelled),
+                f: Box::new(f),
+            },
+        );
+        TimerGuard { cancelled }
+    }
+
+    /// Spawn a new simulation process; it first runs at `now` (after all
+    /// already-queued same-instant events).
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> ProcId
+    where
+        F: FnOnce(&SimCtx) + Send + 'static,
+    {
+        self.spawn_inner(name, SimDuration::ZERO, false, f)
+    }
+
+    /// Spawn a *daemon* process: an engine loop (NIC, protocol handler)
+    /// that blocks forever when idle. Daemons do not keep the simulation
+    /// alive; they are torn down when all regular processes finish.
+    pub fn spawn_daemon<F>(&self, name: impl Into<String>, f: F) -> ProcId
+    where
+        F: FnOnce(&SimCtx) + Send + 'static,
+    {
+        self.spawn_inner(name, SimDuration::ZERO, true, f)
+    }
+
+    /// Spawn a new simulation process whose first instruction runs at
+    /// `now + delay`.
+    pub fn spawn_delayed<F>(&self, name: impl Into<String>, delay: SimDuration, f: F) -> ProcId
+    where
+        F: FnOnce(&SimCtx) + Send + 'static,
+    {
+        self.spawn_inner(name, delay, false, f)
+    }
+
+    fn spawn_inner<F>(
+        &self,
+        name: impl Into<String>,
+        delay: SimDuration,
+        daemon: bool,
+        f: F,
+    ) -> ProcId
+    where
+        F: FnOnce(&SimCtx) + Send + 'static,
+    {
+        let name = name.into();
+        let resume = Signal::new();
+        let mut st = self.core.state.lock();
+        let pid = ProcId(st.next_pid);
+        st.next_pid += 1;
+
+        let ctx = SimCtx {
+            handle: self.clone(),
+            pid,
+        };
+        let thread_resume = Arc::clone(&resume);
+        let core = Arc::clone(&self.core);
+        let tname = name.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("sim-{tname}"))
+            .spawn(move || {
+                // Wait for the first wake (Start) before touching anything.
+                thread_resume.await_and_clear();
+                {
+                    // Consume the Start reason.
+                    let mut st = core.state.lock();
+                    let slot = st.procs.get_mut(&pid.0).expect("slot exists");
+                    let r = slot.wake_reason.take();
+                    debug_assert_eq!(r, Some(WakeReason::Start));
+                }
+                let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                let mut st = core.state.lock();
+                let slot = st.procs.get_mut(&pid.0).expect("slot exists");
+                slot.state = ProcState::Done;
+                if !daemon {
+                    st.live -= 1;
+                }
+                if let Err(payload) = result {
+                    let is_shutdown = payload.downcast_ref::<ShutdownToken>().is_some();
+                    if !is_shutdown && !st.shutting_down {
+                        let msg = panic_message(&*payload);
+                        if st.panic.is_none() {
+                            st.panic = Some((tname.clone(), msg));
+                        }
+                    }
+                }
+                drop(st);
+                core.coord.raise();
+            })
+            .expect("failed to spawn simulation thread");
+
+        let slot = ProcSlot {
+            name,
+            state: ProcState::Parked,
+            epoch: 0,
+            wake_reason: None,
+            resume,
+            thread: Some(thread),
+            daemon,
+        };
+        st.procs.insert(pid.0, slot);
+        if !daemon {
+            st.live += 1;
+        }
+        let at = st.now + delay.as_nanos();
+        SimCore::schedule_locked(
+            &mut st,
+            at,
+            EventKind::Wake {
+                pid,
+                epoch: 0,
+                reason: WakeReason::Start,
+            },
+        );
+        pid
+    }
+
+    /// Schedule a wake for `pid` at `now + delay` targeting epoch `epoch`.
+    /// Used by the synchronization primitives.
+    pub(crate) fn schedule_wake(
+        &self,
+        pid: ProcId,
+        epoch: u64,
+        delay: SimDuration,
+        reason: WakeReason,
+    ) {
+        let mut st = self.core.state.lock();
+        let at = st.now + delay.as_nanos();
+        SimCore::schedule_locked(&mut st, at, EventKind::Wake { pid, epoch, reason });
+    }
+
+    /// The (pid, epoch) pair a primitive must record to wake `ctx` later.
+    pub(crate) fn park_token(&self, ctx: &SimCtx) -> (ProcId, u64) {
+        let st = self.core.state.lock();
+        let slot = st.procs.get(&ctx.pid.0).expect("park_token: unknown pid");
+        (ctx.pid, slot.epoch)
+    }
+
+    /// Whether a recorded park token still refers to a parked process whose
+    /// epoch has not advanced (i.e. waking it would not be stale).
+    pub(crate) fn token_is_current(&self, token: (ProcId, u64)) -> bool {
+        let st = self.core.state.lock();
+        match st.procs.get(&token.0 .0) {
+            Some(slot) => slot.state == ProcState::Parked && slot.epoch == token.1,
+            None => false,
+        }
+    }
+}
+
+/// Cancellation guard for a scheduled callback.
+///
+/// Dropping the guard does **not** cancel the timer; call
+/// [`TimerGuard::cancel`] explicitly.
+pub struct TimerGuard {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl TimerGuard {
+    /// Prevent the callback from running if it has not fired yet.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether `cancel` was called (the callback may still have fired first).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-process context: the capability to block in virtual time.
+///
+/// A `SimCtx` must only be used from the process thread it was created for.
+#[derive(Clone)]
+pub struct SimCtx {
+    pub(crate) handle: SimHandle,
+    pub(crate) pid: ProcId,
+}
+
+impl SimCtx {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.handle.now()
+    }
+
+    /// This process's id.
+    pub fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    /// A cloneable, non-blocking handle to the simulation.
+    pub fn handle(&self) -> &SimHandle {
+        &self.handle
+    }
+
+    /// Advance this process's virtual clock by `d` (charge a modeled cost).
+    pub fn sleep(&self, d: SimDuration) {
+        if d.is_zero() {
+            return;
+        }
+        let (pid, epoch) = self.handle.park_token(self);
+        self.handle.schedule_wake(pid, epoch, d, WakeReason::Sleep);
+        let r = self.park();
+        debug_assert_eq!(r, WakeReason::Sleep);
+    }
+
+    /// Yield to any other same-instant events/processes without advancing
+    /// time (a deterministic `sched_yield`).
+    pub fn yield_now(&self) {
+        let (pid, epoch) = self.handle.park_token(self);
+        self.handle
+            .schedule_wake(pid, epoch, SimDuration::ZERO, WakeReason::Sleep);
+        let _ = self.park();
+    }
+
+    /// Park until some event wakes us. Returns the delivered reason.
+    ///
+    /// This is the low-level primitive behind the sync types; application
+    /// code should prefer [`crate::sync`] primitives.
+    pub(crate) fn park(&self) -> WakeReason {
+        let core = &self.handle.core;
+        let resume;
+        {
+            let mut st = core.state.lock();
+            let slot = st
+                .procs
+                .get_mut(&self.pid.0)
+                .expect("park: unknown pid");
+            assert_eq!(
+                slot.state,
+                ProcState::Running,
+                "park() called from a thread that does not hold the token"
+            );
+            slot.state = ProcState::Parked;
+            resume = Arc::clone(&slot.resume);
+        }
+        core.coord.raise();
+        resume.await_and_clear();
+        let mut st = core.state.lock();
+        let slot = st
+            .procs
+            .get_mut(&self.pid.0)
+            .expect("park: unknown pid after wake");
+        let reason = slot
+            .wake_reason
+            .take()
+            .expect("woken without a wake reason");
+        if reason == WakeReason::Shutdown {
+            drop(st);
+            // resume_unwind skips the panic hook: teardown is silent.
+            panic::resume_unwind(Box::new(ShutdownToken));
+        }
+        reason
+    }
+}
+
+/// A whole simulation: owns the event queue, clock, and process threads.
+pub struct Simulation {
+    handle: SimHandle,
+    ran: bool,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Create an empty simulation at t = 0.
+    pub fn new() -> Simulation {
+        let core = Arc::new(SimCore {
+            state: Mutex::new(SchedState {
+                now: 0,
+                seq: 0,
+                heap: BinaryHeap::new(),
+                procs: HashMap::new(),
+                next_pid: 0,
+                live: 0,
+                shutting_down: false,
+                panic: None,
+            }),
+            coord: Signal::new_inline(),
+        });
+        Simulation {
+            handle: SimHandle { core },
+            ran: false,
+        }
+    }
+
+    /// A cloneable handle for scheduling and primitive construction.
+    pub fn handle(&self) -> SimHandle {
+        self.handle.clone()
+    }
+
+    /// Spawn a process (see [`SimHandle::spawn`]).
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> ProcId
+    where
+        F: FnOnce(&SimCtx) + Send + 'static,
+    {
+        self.handle.spawn(name, f)
+    }
+
+    /// Spawn a daemon process (see [`SimHandle::spawn_daemon`]).
+    pub fn spawn_daemon<F>(&self, name: impl Into<String>, f: F) -> ProcId
+    where
+        F: FnOnce(&SimCtx) + Send + 'static,
+    {
+        self.handle.spawn_daemon(name, f)
+    }
+
+    /// Run until all processes finish, returning the final virtual time.
+    pub fn run(mut self) -> Result<SimTime, SimError> {
+        self.run_inner(u64::MAX)
+    }
+
+    /// Run with an explicit event budget.
+    pub fn run_with_limit(mut self, max_events: u64) -> Result<SimTime, SimError> {
+        self.run_inner(max_events)
+    }
+
+    fn run_inner(&mut self, max_events: u64) -> Result<SimTime, SimError> {
+        assert!(!self.ran, "Simulation::run called twice");
+        self.ran = true;
+        let core = Arc::clone(&self.handle.core);
+        let mut events = 0u64;
+        let result = loop {
+            let entry = {
+                let mut st = core.state.lock();
+                if let Some((name, msg)) = st.panic.take() {
+                    break Err(SimError::ProcessPanicked { name, message: msg });
+                }
+                match st.heap.pop() {
+                    Some(e) => {
+                        st.now = e.time;
+                        e
+                    }
+                    None => {
+                        if st.live == 0 {
+                            break Ok(SimTime(st.now));
+                        }
+                        let parked = st
+                            .procs
+                            .values()
+                            .filter(|p| p.state == ProcState::Parked && !p.daemon)
+                            .map(|p| p.name.clone())
+                            .collect();
+                        break Err(SimError::Deadlock {
+                            at: SimTime(st.now),
+                            parked,
+                        });
+                    }
+                }
+            };
+            events += 1;
+            if events > max_events {
+                let now = SimTime(core.state.lock().now);
+                break Err(SimError::EventLimit { at: now });
+            }
+            match entry.kind {
+                EventKind::Call { cancelled, f } => {
+                    if !cancelled.load(Ordering::Relaxed) {
+                        let now = SimTime(core.state.lock().now);
+                        f(now);
+                        // A callback may have been the last thing keeping the
+                        // simulation alive; loop around and re-check.
+                        let st = core.state.lock();
+                        if let Some((name, msg)) = st.panic.clone() {
+                            drop(st);
+                            break Err(SimError::ProcessPanicked { name, message: msg });
+                        }
+                    }
+                }
+                EventKind::Wake { pid, epoch, reason } => {
+                    let resume = {
+                        let mut st = core.state.lock();
+                        let slot = match st.procs.get_mut(&pid.0) {
+                            Some(s) => s,
+                            None => continue,
+                        };
+                        if slot.state != ProcState::Parked || slot.epoch != epoch {
+                            continue; // stale wake
+                        }
+                        slot.epoch += 1;
+                        slot.state = ProcState::Running;
+                        slot.wake_reason = Some(reason);
+                        Arc::clone(&slot.resume)
+                    };
+                    resume.raise();
+                    core.coord.await_and_clear();
+                }
+            }
+        };
+        self.teardown();
+        result
+    }
+
+    /// Wake every parked process with `Shutdown` (making it unwind) and join
+    /// all threads.
+    fn teardown(&mut self) {
+        let core = &self.handle.core;
+        loop {
+            // Find one parked process, shut it down, repeat.
+            let target = {
+                let mut st = core.state.lock();
+                st.shutting_down = true;
+                st.procs
+                    .iter_mut()
+                    .find(|(_, s)| s.state == ProcState::Parked)
+                    .map(|(_, slot)| {
+                        slot.state = ProcState::Running;
+                        slot.epoch += 1;
+                        slot.wake_reason = Some(WakeReason::Shutdown);
+                        Arc::clone(&slot.resume)
+                    })
+            };
+            match target {
+                Some(resume) => {
+                    resume.raise();
+                    core.coord.await_and_clear();
+                }
+                None => break,
+            }
+        }
+        // All processes are Done; join the threads.
+        let handles: Vec<JoinHandle<()>> = {
+            let mut st = core.state.lock();
+            st.procs
+                .values_mut()
+                .filter_map(|s| s.thread.take())
+                .collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Signal {
+    /// Non-Arc constructor for embedding in `SimCore`.
+    fn new_inline() -> Signal {
+        Signal {
+            flag: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Unwind payload used to silently tear a process down at end of simulation.
+struct ShutdownToken;
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn empty_simulation_finishes_at_zero() {
+        let sim = Simulation::new();
+        assert_eq!(sim.run().unwrap(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_process_sleeps() {
+        let sim = Simulation::new();
+        let t_end = Arc::new(AtomicU64::new(0));
+        let t2 = Arc::clone(&t_end);
+        sim.spawn("sleeper", move |ctx| {
+            ctx.sleep(SimDuration::from_micros(10));
+            ctx.sleep(SimDuration::from_micros(5));
+            t2.store(ctx.now().as_nanos(), Ordering::Relaxed);
+        });
+        let end = sim.run().unwrap();
+        assert_eq!(t_end.load(Ordering::Relaxed), 15_000);
+        assert_eq!(end.as_nanos(), 15_000);
+    }
+
+    #[test]
+    fn processes_interleave_deterministically() {
+        let sim = Simulation::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (name, start, step) in [("a", 1u64, 3u64), ("b", 2, 3)] {
+            let log = Arc::clone(&log);
+            sim.spawn(name, move |ctx| {
+                ctx.sleep(SimDuration::from_micros(start));
+                for _ in 0..3 {
+                    log.lock().push((name, ctx.now().as_nanos()));
+                    ctx.sleep(SimDuration::from_micros(step));
+                }
+            });
+        }
+        sim.run().unwrap();
+        let got = log.lock().clone();
+        assert_eq!(
+            got,
+            vec![
+                ("a", 1_000),
+                ("b", 2_000),
+                ("a", 4_000),
+                ("b", 5_000),
+                ("a", 7_000),
+                ("b", 8_000),
+            ]
+        );
+    }
+
+    #[test]
+    fn same_instant_events_fire_in_schedule_order() {
+        let sim = Simulation::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let h = sim.handle();
+        for i in 0..5 {
+            let log = Arc::clone(&log);
+            h.schedule_in(SimDuration::from_micros(1), move |_| {
+                log.lock().push(i);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(log.lock().clone(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn timer_cancellation() {
+        let sim = Simulation::new();
+        let fired = Arc::new(AtomicU64::new(0));
+        let f2 = Arc::clone(&fired);
+        let h = sim.handle();
+        let guard = h.schedule_in(SimDuration::from_micros(5), move |_| {
+            f2.fetch_add(1, Ordering::Relaxed);
+        });
+        guard.cancel();
+        assert!(guard.is_cancelled());
+        sim.run().unwrap();
+        assert_eq!(fired.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn nested_spawn() {
+        let sim = Simulation::new();
+        let sum = Arc::new(AtomicU64::new(0));
+        let s2 = Arc::clone(&sum);
+        sim.spawn("parent", move |ctx| {
+            ctx.sleep(SimDuration::from_micros(1));
+            let s3 = Arc::clone(&s2);
+            ctx.handle().spawn("child", move |cctx| {
+                cctx.sleep(SimDuration::from_micros(2));
+                s3.fetch_add(cctx.now().as_nanos(), Ordering::Relaxed);
+            });
+            ctx.sleep(SimDuration::from_micros(10));
+        });
+        let end = sim.run().unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 3_000);
+        assert_eq!(end.as_nanos(), 11_000);
+    }
+
+    #[test]
+    fn process_panic_is_reported() {
+        let sim = Simulation::new();
+        sim.spawn("bad", |_| panic!("boom"));
+        match sim.run() {
+            Err(SimError::ProcessPanicked { name, message }) => {
+                assert_eq!(name, "bad");
+                assert!(message.contains("boom"));
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_limit_guard() {
+        let sim = Simulation::new();
+        sim.spawn("spin", |ctx| loop {
+            ctx.sleep(SimDuration::from_nanos(1));
+        });
+        match sim.run_with_limit(100) {
+            Err(SimError::EventLimit { .. }) => {}
+            other => panic!("expected event-limit error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn daemons_do_not_block_completion() {
+        let sim = Simulation::new();
+        let served = Arc::new(AtomicU64::new(0));
+        // A daemon that would loop forever.
+        {
+            let served = Arc::clone(&served);
+            sim.spawn_daemon("engine", move |ctx| loop {
+                ctx.sleep(SimDuration::from_micros(1));
+                served.fetch_add(1, Ordering::Relaxed);
+                // Park forever after two ticks (idle engine).
+                if served.load(Ordering::Relaxed) == 2 {
+                    let _ = ctx.park();
+                    unreachable!("daemon should be shut down while parked");
+                }
+            });
+        }
+        sim.spawn("worker", |ctx| ctx.sleep(SimDuration::from_micros(10)));
+        let end = sim.run().unwrap();
+        assert_eq!(end.as_nanos(), 10_000);
+        assert_eq!(served.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn deadlock_reports_only_non_daemons() {
+        let sim = Simulation::new();
+        sim.spawn_daemon("idle-engine", |ctx| {
+            let _ = ctx.park();
+        });
+        sim.spawn("stuck", |ctx| {
+            let _ = ctx.park(); // nobody will wake us
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { parked, .. }) => {
+                assert_eq!(parked, vec!["stuck".to_string()]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn yield_now_interleaves() {
+        let sim = Simulation::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for name in ["x", "y"] {
+            let log = Arc::clone(&log);
+            sim.spawn(name, move |ctx| {
+                for _ in 0..2 {
+                    log.lock().push(name);
+                    ctx.yield_now();
+                }
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(log.lock().clone(), vec!["x", "y", "x", "y"]);
+    }
+}

@@ -1,0 +1,476 @@
+//! Virtual-time synchronization primitives.
+//!
+//! Because exactly one simulation thread runs at a time, shared state needs
+//! no real locking for correctness (the `Mutex`es below are always
+//! uncontended); these primitives exist to *block and wake processes on the
+//! virtual clock*, optionally charging a wake-up latency — which is how the
+//! paper's "thread synchronization cost is expensive in Linux, sometimes up
+//! to tens of microseconds" is modeled.
+//!
+//! # Discipline
+//!
+//! As with real condition variables: **mutate shared state first, then
+//! notify; waiters must re-check their predicate in a loop.** A notification
+//! whose delayed wake loses a race against a `wait_timeout` deadline is
+//! dropped (the waiter re-checks state anyway), so code that mixes
+//! `notify_one` with timeouts on the same condvar should prefer
+//! [`SimCondvar::notify_all`].
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::sched::{ProcId, SimCtx, SimHandle, WakeReason};
+use crate::time::SimDuration;
+
+/// Result of a timed wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimedWait {
+    /// A notification arrived first.
+    Notified,
+    /// The deadline fired first.
+    TimedOut,
+}
+
+/// A condition variable on the virtual clock.
+pub struct SimCondvar {
+    handle: SimHandle,
+    waiters: Mutex<VecDeque<(ProcId, u64)>>,
+}
+
+impl SimCondvar {
+    /// Create a condvar bound to a simulation.
+    pub fn new(handle: &SimHandle) -> SimCondvar {
+        SimCondvar {
+            handle: handle.clone(),
+            waiters: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Block the calling process until notified.
+    pub fn wait(&self, ctx: &SimCtx) {
+        let token = self.handle.park_token(ctx);
+        self.waiters.lock().push_back(token);
+        let r = ctx.park();
+        debug_assert_eq!(r, WakeReason::Notify);
+    }
+
+    /// Block until notified or until `timeout` elapses, whichever is first.
+    pub fn wait_timeout(&self, ctx: &SimCtx, timeout: SimDuration) -> TimedWait {
+        let token = self.handle.park_token(ctx);
+        self.waiters.lock().push_back(token);
+        self.handle
+            .schedule_wake(token.0, token.1, timeout, WakeReason::Timeout);
+        match ctx.park() {
+            WakeReason::Notify => TimedWait::Notified,
+            WakeReason::Timeout => {
+                // Remove our now-dead registration so a future notify_one is
+                // not wasted on it.
+                self.waiters.lock().retain(|t| *t != token);
+                TimedWait::TimedOut
+            }
+            other => unreachable!("condvar wait woken with {other:?}"),
+        }
+    }
+
+    /// Wake one waiter immediately (at the current instant, after all
+    /// already-queued same-instant events).
+    pub fn notify_one(&self) {
+        self.notify_one_after(SimDuration::ZERO);
+    }
+
+    /// Wake one waiter after `delay` of virtual time — the modeled cost of a
+    /// cross-thread signal (context switch + scheduler latency).
+    pub fn notify_one_after(&self, delay: SimDuration) {
+        let mut w = self.waiters.lock();
+        while let Some(token) = w.pop_front() {
+            if self.handle.token_is_current(token) {
+                self.handle
+                    .schedule_wake(token.0, token.1, delay, WakeReason::Notify);
+                return;
+            }
+        }
+    }
+
+    /// Wake all waiters immediately.
+    pub fn notify_all(&self) {
+        self.notify_all_after(SimDuration::ZERO);
+    }
+
+    /// Wake all waiters after `delay` of virtual time.
+    pub fn notify_all_after(&self, delay: SimDuration) {
+        let mut w = self.waiters.lock();
+        for token in w.drain(..) {
+            if self.handle.token_is_current(token) {
+                self.handle
+                    .schedule_wake(token.0, token.1, delay, WakeReason::Notify);
+            }
+        }
+    }
+
+    /// Number of currently registered waiters.
+    pub fn waiter_count(&self) -> usize {
+        self.waiters.lock().len()
+    }
+}
+
+/// An unbounded FIFO queue in virtual time (MPMC).
+pub struct SimQueue<T> {
+    items: Mutex<VecDeque<T>>,
+    cv: SimCondvar,
+}
+
+impl<T> SimQueue<T> {
+    /// Create an empty queue bound to a simulation.
+    pub fn new(handle: &SimHandle) -> Arc<SimQueue<T>> {
+        Arc::new(SimQueue {
+            items: Mutex::new(VecDeque::new()),
+            cv: SimCondvar::new(handle),
+        })
+    }
+
+    /// Append an item and wake one blocked consumer at the current instant.
+    pub fn push(&self, item: T) {
+        self.push_wake_after(item, SimDuration::ZERO);
+    }
+
+    /// Append an item; a blocked consumer resumes after `wake_delay`.
+    pub fn push_wake_after(&self, item: T, wake_delay: SimDuration) {
+        self.items.lock().push_back(item);
+        self.cv.notify_one_after(wake_delay);
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<T> {
+        self.items.lock().pop_front()
+    }
+
+    /// Blocking pop.
+    pub fn pop(&self, ctx: &SimCtx) -> T {
+        loop {
+            if let Some(item) = self.items.lock().pop_front() {
+                return item;
+            }
+            self.cv.wait(ctx);
+        }
+    }
+
+    /// Blocking pop with a deadline; `None` on timeout.
+    pub fn pop_timeout(&self, ctx: &SimCtx, timeout: SimDuration) -> Option<T> {
+        let deadline = ctx.now() + timeout;
+        loop {
+            if let Some(item) = self.items.lock().pop_front() {
+                return Some(item);
+            }
+            let now = ctx.now();
+            if now >= deadline {
+                return None;
+            }
+            let remaining = deadline.since(now);
+            if self.cv.wait_timeout(ctx, remaining) == TimedWait::TimedOut
+                && self.items.lock().is_empty()
+            {
+                return None;
+            }
+        }
+    }
+
+    /// Current queue length.
+    pub fn len(&self) -> usize {
+        self.items.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.lock().is_empty()
+    }
+}
+
+/// A counting semaphore in virtual time.
+pub struct SimSemaphore {
+    permits: Mutex<u64>,
+    cv: SimCondvar,
+}
+
+impl SimSemaphore {
+    /// Create a semaphore with `initial` permits.
+    pub fn new(handle: &SimHandle, initial: u64) -> Arc<SimSemaphore> {
+        Arc::new(SimSemaphore {
+            permits: Mutex::new(initial),
+            cv: SimCondvar::new(handle),
+        })
+    }
+
+    /// Take one permit, blocking until available.
+    pub fn acquire(&self, ctx: &SimCtx) {
+        loop {
+            {
+                let mut p = self.permits.lock();
+                if *p > 0 {
+                    *p -= 1;
+                    return;
+                }
+            }
+            self.cv.wait(ctx);
+        }
+    }
+
+    /// Take one permit without blocking; `false` if none available.
+    pub fn try_acquire(&self) -> bool {
+        let mut p = self.permits.lock();
+        if *p > 0 {
+            *p -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Return one permit, waking a blocked acquirer.
+    pub fn release(&self) {
+        self.release_many(1);
+    }
+
+    /// Return `n` permits at once.
+    pub fn release_many(&self, n: u64) {
+        *self.permits.lock() += n;
+        // All waiters re-check; first-woken (deterministic order) win.
+        self.cv.notify_all();
+    }
+
+    /// Current available permits.
+    pub fn available(&self) -> u64 {
+        *self.permits.lock()
+    }
+}
+
+/// A one-shot latch: starts unset, can be set exactly once, waiters block
+/// until it is set. Setting is idempotent.
+pub struct SimFlag {
+    set: Mutex<bool>,
+    cv: SimCondvar,
+}
+
+impl SimFlag {
+    /// Create an unset flag.
+    pub fn new(handle: &SimHandle) -> Arc<SimFlag> {
+        Arc::new(SimFlag {
+            set: Mutex::new(false),
+            cv: SimCondvar::new(handle),
+        })
+    }
+
+    /// Set the flag and wake all waiters.
+    pub fn set(&self) {
+        *self.set.lock() = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether the flag is set.
+    pub fn is_set(&self) -> bool {
+        *self.set.lock()
+    }
+
+    /// Block until the flag is set (returns immediately if already set).
+    pub fn wait(&self, ctx: &SimCtx) {
+        loop {
+            if *self.set.lock() {
+                return;
+            }
+            self.cv.wait(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::Simulation;
+    use crate::time::SimTime;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn queue_ping_pong() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let q_ab = SimQueue::<u64>::new(&h);
+        let q_ba = SimQueue::<u64>::new(&h);
+        let rounds = 10u64;
+
+        {
+            let (q_ab, q_ba) = (Arc::clone(&q_ab), Arc::clone(&q_ba));
+            sim.spawn("a", move |ctx| {
+                for i in 0..rounds {
+                    q_ab.push(i);
+                    let echo = q_ba.pop(ctx);
+                    assert_eq!(echo, i);
+                }
+            });
+        }
+        {
+            let (q_ab, q_ba) = (Arc::clone(&q_ab), Arc::clone(&q_ba));
+            sim.spawn("b", move |ctx| {
+                for _ in 0..rounds {
+                    let v = q_ab.pop(ctx);
+                    ctx.sleep(SimDuration::from_micros(1));
+                    q_ba.push(v);
+                }
+            });
+        }
+        let end = sim.run().unwrap();
+        assert_eq!(end.as_nanos(), rounds * 1_000);
+    }
+
+    #[test]
+    fn queue_wake_delay_models_thread_sync_cost() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let q = SimQueue::<()>::new(&h);
+        let woke_at = Arc::new(AtomicU64::new(0));
+
+        {
+            let q = Arc::clone(&q);
+            let woke_at = Arc::clone(&woke_at);
+            sim.spawn("consumer", move |ctx| {
+                q.pop(ctx);
+                woke_at.store(ctx.now().as_nanos(), Ordering::Relaxed);
+            });
+        }
+        {
+            let q = Arc::clone(&q);
+            sim.spawn("producer", move |ctx| {
+                ctx.sleep(SimDuration::from_micros(5));
+                q.push_wake_after((), SimDuration::from_micros(15));
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(woke_at.load(Ordering::Relaxed), 20_000);
+    }
+
+    #[test]
+    fn condvar_timeout_fires() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let cv = Arc::new(SimCondvar::new(&h));
+        let cv2 = Arc::clone(&cv);
+        let outcome = Arc::new(Mutex::new(None));
+        let outcome2 = Arc::clone(&outcome);
+        sim.spawn("waiter", move |ctx| {
+            let r = cv2.wait_timeout(ctx, SimDuration::from_millis(2));
+            *outcome2.lock() = Some((r, ctx.now()));
+        });
+        sim.run().unwrap();
+        let (r, t) = outcome.lock().take().unwrap();
+        assert_eq!(r, TimedWait::TimedOut);
+        assert_eq!(t, SimTime(2_000_000));
+        assert_eq!(cv.waiter_count(), 0, "timed-out waiter must deregister");
+    }
+
+    #[test]
+    fn condvar_notify_beats_timeout() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let cv = Arc::new(SimCondvar::new(&h));
+        let outcome = Arc::new(Mutex::new(None));
+        {
+            let cv = Arc::clone(&cv);
+            let outcome = Arc::clone(&outcome);
+            sim.spawn("waiter", move |ctx| {
+                let r = cv.wait_timeout(ctx, SimDuration::from_millis(2));
+                *outcome.lock() = Some((r, ctx.now()));
+            });
+        }
+        {
+            let cv = Arc::clone(&cv);
+            sim.spawn("notifier", move |ctx| {
+                ctx.sleep(SimDuration::from_micros(100));
+                cv.notify_one();
+            });
+        }
+        sim.run().unwrap();
+        let (r, t) = outcome.lock().take().unwrap();
+        assert_eq!(r, TimedWait::Notified);
+        assert_eq!(t, SimTime(100_000));
+    }
+
+    #[test]
+    fn semaphore_limits_concurrency() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let sem = SimSemaphore::new(&h, 2);
+        let in_flight = Arc::new(AtomicU64::new(0));
+        let max_seen = Arc::new(AtomicU64::new(0));
+        for i in 0..6 {
+            let sem = Arc::clone(&sem);
+            let in_flight = Arc::clone(&in_flight);
+            let max_seen = Arc::clone(&max_seen);
+            sim.spawn(format!("w{i}"), move |ctx| {
+                sem.acquire(ctx);
+                let n = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+                max_seen.fetch_max(n, Ordering::Relaxed);
+                ctx.sleep(SimDuration::from_micros(10));
+                in_flight.fetch_sub(1, Ordering::Relaxed);
+                sem.release();
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(max_seen.load(Ordering::Relaxed), 2);
+        assert_eq!(sem.available(), 2);
+    }
+
+    #[test]
+    fn flag_is_idempotent_and_latching() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let flag = SimFlag::new(&h);
+        let done = Arc::new(AtomicU64::new(0));
+        for i in 0..3 {
+            let flag = Arc::clone(&flag);
+            let done = Arc::clone(&done);
+            sim.spawn(format!("waiter{i}"), move |ctx| {
+                flag.wait(ctx);
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        {
+            let flag = Arc::clone(&flag);
+            sim.spawn("setter", move |ctx| {
+                ctx.sleep(SimDuration::from_micros(7));
+                flag.set();
+                flag.set(); // idempotent
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(done.load(Ordering::Relaxed), 3);
+        assert!(flag.is_set());
+    }
+
+    #[test]
+    fn queue_pop_timeout() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let q = SimQueue::<u32>::new(&h);
+        let got = Arc::new(Mutex::new(Vec::new()));
+        {
+            let q = Arc::clone(&q);
+            let got = Arc::clone(&got);
+            sim.spawn("consumer", move |ctx| {
+                // First pop times out, second succeeds.
+                got.lock()
+                    .push(q.pop_timeout(ctx, SimDuration::from_micros(50)));
+                got.lock()
+                    .push(q.pop_timeout(ctx, SimDuration::from_millis(10)));
+            });
+        }
+        {
+            let q = Arc::clone(&q);
+            sim.spawn("producer", move |ctx| {
+                ctx.sleep(SimDuration::from_micros(200));
+                q.push(42);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(got.lock().clone(), vec![None, Some(42)]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Host-side cost model.
+//!
+//! All CPU-side costs charged by the simulated OS and by the user-level
+//! libraries running on it. The `pentium3_500` preset is calibrated so the
+//! microbenchmarks reproduce the anchor numbers of the SOVIA paper
+//! (Section 5.2) on the simulated cLAN platform; the calibration itself is
+//! documented in `EXPERIMENTS.md`.
+
+use dsim::SimDuration;
+
+/// Per-operation CPU costs of one simulated host.
+#[derive(Debug, Clone)]
+pub struct HostCosts {
+    /// One user↔kernel crossing (trap + return).
+    pub syscall: SimDuration,
+    /// Hardware interrupt entry + handler dispatch.
+    pub interrupt: SimDuration,
+    /// Waking a process blocked in the kernel (schedule-in latency).
+    pub context_switch: SimDuration,
+    /// Cross-thread user-level signal (pthread condvar wake): the paper's
+    /// "tens of microseconds" Linux thread synchronization cost.
+    pub thread_wake: SimDuration,
+    /// Fixed cost of any memcpy.
+    pub memcpy_base: SimDuration,
+    /// Per-byte memcpy cost (ns/byte).
+    pub memcpy_per_byte_ns: f64,
+    /// Page-fault handling overhead for one copy-on-write fault
+    /// (excluding the page copy itself, charged at memcpy rate).
+    pub cow_fault: SimDuration,
+    /// Allocating and zeroing one fresh page.
+    pub page_alloc: SimDuration,
+    /// VIA memory registration: kernel-agent entry, VM walk setup.
+    pub mem_register_base: SimDuration,
+    /// VIA memory registration: per-page translate + pin.
+    pub mem_register_per_page: SimDuration,
+    /// VIA memory deregistration.
+    pub mem_deregister: SimDuration,
+    /// One user-level poll of a completion (queue head check).
+    pub poll_check: SimDuration,
+    /// Building + posting one VIA descriptor onto a work queue.
+    pub descriptor_post: SimDuration,
+    /// Ringing a doorbell (uncached PCI write).
+    pub doorbell: SimDuration,
+    /// Ramdisk read, ns/byte.
+    pub ramdisk_read_per_byte_ns: f64,
+    /// Ramdisk write, ns/byte.
+    pub ramdisk_write_per_byte_ns: f64,
+    /// Fixed cost of a file open/close/seek-style operation.
+    pub file_op: SimDuration,
+    /// fork() fixed overhead (table copies, bookkeeping).
+    pub fork_base: SimDuration,
+    /// Per-page cost of duplicating page tables on fork.
+    pub fork_per_page: SimDuration,
+    /// Fixed cost of one pipe read/write operation (excluding memcpy).
+    pub pipe_op: SimDuration,
+}
+
+impl HostCosts {
+    /// Calibrated model of the paper's hosts: Pentium III-500, 512 KB L2,
+    /// Linux 2.2.16, 32-bit/33 MHz PCI.
+    pub fn pentium3_500() -> HostCosts {
+        HostCosts {
+            syscall: SimDuration::from_micros_f64(1.8),
+            interrupt: SimDuration::from_micros_f64(4.0),
+            context_switch: SimDuration::from_micros_f64(10.0),
+            thread_wake: SimDuration::from_micros_f64(12.0),
+            memcpy_base: SimDuration::from_micros_f64(0.25),
+            memcpy_per_byte_ns: 2.8,
+            cow_fault: SimDuration::from_micros_f64(3.0),
+            page_alloc: SimDuration::from_micros_f64(0.8),
+            mem_register_base: SimDuration::from_micros_f64(3.0),
+            mem_register_per_page: SimDuration::from_micros_f64(1.5),
+            mem_deregister: SimDuration::from_micros_f64(2.0),
+            poll_check: SimDuration::from_micros_f64(0.3),
+            descriptor_post: SimDuration::from_micros_f64(0.4),
+            doorbell: SimDuration::from_micros_f64(0.6),
+            ramdisk_read_per_byte_ns: 4.0,
+            ramdisk_write_per_byte_ns: 9.0,
+            file_op: SimDuration::from_micros_f64(5.0),
+            fork_base: SimDuration::from_micros_f64(150.0),
+            fork_per_page: SimDuration::from_nanos(80),
+            pipe_op: SimDuration::from_micros_f64(3.0),
+        }
+    }
+
+    /// A zero-cost model, for unit tests that assert pure protocol logic
+    /// without timing noise.
+    pub fn free() -> HostCosts {
+        HostCosts {
+            syscall: SimDuration::ZERO,
+            interrupt: SimDuration::ZERO,
+            context_switch: SimDuration::ZERO,
+            thread_wake: SimDuration::ZERO,
+            memcpy_base: SimDuration::ZERO,
+            memcpy_per_byte_ns: 0.0,
+            cow_fault: SimDuration::ZERO,
+            page_alloc: SimDuration::ZERO,
+            mem_register_base: SimDuration::ZERO,
+            mem_register_per_page: SimDuration::ZERO,
+            mem_deregister: SimDuration::ZERO,
+            poll_check: SimDuration::ZERO,
+            descriptor_post: SimDuration::ZERO,
+            doorbell: SimDuration::ZERO,
+            ramdisk_read_per_byte_ns: 0.0,
+            ramdisk_write_per_byte_ns: 0.0,
+            file_op: SimDuration::ZERO,
+            fork_base: SimDuration::ZERO,
+            fork_per_page: SimDuration::ZERO,
+            pipe_op: SimDuration::ZERO,
+        }
+    }
+
+    /// Cost of copying `bytes` bytes with the CPU.
+    pub fn memcpy(&self, bytes: usize) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        self.memcpy_base + SimDuration::from_nanos_f64(self.memcpy_per_byte_ns * bytes as f64)
+    }
+
+    /// Cost of registering `pages` pages with the VIA kernel agent.
+    pub fn mem_register(&self, pages: usize) -> SimDuration {
+        self.mem_register_base + self.mem_register_per_page * pages as u64
+    }
+
+    /// Cost of reading `bytes` from the ramdisk.
+    pub fn ramdisk_read(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_nanos_f64(self.ramdisk_read_per_byte_ns * bytes as f64)
+    }
+
+    /// Cost of writing `bytes` to the ramdisk.
+    pub fn ramdisk_write(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_nanos_f64(self.ramdisk_write_per_byte_ns * bytes as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memcpy_scales_linearly() {
+        let c = HostCosts::pentium3_500();
+        let small = c.memcpy(100);
+        let large = c.memcpy(10_000);
+        assert!(large > small);
+        // 10k bytes at 2.8 ns/B = 28 us + base.
+        assert_eq!(large.as_nanos(), 250 + 28_000);
+    }
+
+    #[test]
+    fn memcpy_zero_is_free() {
+        let c = HostCosts::pentium3_500();
+        assert_eq!(c.memcpy(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn register_vs_copy_crossover_near_2kb() {
+        // Section 3.1: "it is reasonable to begin registering data as its
+        // size becomes larger than 2KB". Below 2 KB copying must be cheaper;
+        // above, registration must win.
+        let c = HostCosts::pentium3_500();
+        let copy_2k = c.memcpy(2048);
+        let reg_2k = c.mem_register(1);
+        assert!(
+            copy_2k > reg_2k,
+            "at 2KB registration should already win: copy={copy_2k} reg={reg_2k}"
+        );
+        let copy_1k = c.memcpy(1024);
+        let reg_1k = c.mem_register(1);
+        assert!(
+            copy_1k < reg_1k,
+            "at 1KB copying should win: copy={copy_1k} reg={reg_1k}"
+        );
+    }
+
+    #[test]
+    fn free_model_is_all_zero() {
+        let c = HostCosts::free();
+        assert_eq!(c.memcpy(1_000_000), SimDuration::ZERO);
+        assert_eq!(c.mem_register(1000), SimDuration::ZERO);
+        assert_eq!(c.ramdisk_read(1000), SimDuration::ZERO);
+    }
+}

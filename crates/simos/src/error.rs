@@ -1,0 +1,42 @@
+//! Error type for simulated OS operations.
+
+use std::fmt;
+
+/// Errors returned by simulated syscalls (a deliberately small errno set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OsError {
+    /// Bad file descriptor.
+    BadFd,
+    /// File not found.
+    NotFound,
+    /// File exists and exclusive creation was requested.
+    Exists,
+    /// Operation on a closed object (EPIPE-like).
+    Closed,
+    /// Descriptor opened without the required access mode.
+    PermissionDenied,
+    /// Operation not supported on this descriptor kind.
+    Unsupported,
+    /// Invalid argument.
+    Invalid,
+}
+
+impl fmt::Display for OsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OsError::BadFd => "bad file descriptor",
+            OsError::NotFound => "no such file",
+            OsError::Exists => "file exists",
+            OsError::Closed => "closed",
+            OsError::PermissionDenied => "permission denied",
+            OsError::Unsupported => "operation not supported",
+            OsError::Invalid => "invalid argument",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for OsError {}
+
+/// Result alias for simulated syscalls.
+pub type OsResult<T> = Result<T, OsError>;

@@ -1,0 +1,268 @@
+//! A per-machine in-memory ("ramdisk") filesystem.
+//!
+//! The paper stores FTP source/target files on ramdisks "to remove the
+//! effect of disk speed"; file throughput is still bounded by memory-system
+//! costs (611 Mb/s / 538 Mb/s local copy in Table 1), which is what the
+//! per-byte read/write costs model.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{OsError, OsResult};
+
+/// File open mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenMode {
+    /// Read-only; the file must exist.
+    Read,
+    /// Write-only; creates or truncates.
+    Write,
+    /// Write-only; appends to an existing file or creates.
+    Append,
+}
+
+struct FileData {
+    bytes: Vec<u8>,
+}
+
+/// An open file: shared contents plus a (fork-shared) offset.
+pub struct FileHandle {
+    data: Arc<Mutex<FileData>>,
+    pos: Mutex<u64>,
+    readable: bool,
+    writable: bool,
+}
+
+impl FileHandle {
+    /// Read up to `max` bytes at the current offset; empty vec at EOF.
+    pub fn read(&self, max: usize) -> OsResult<Vec<u8>> {
+        if !self.readable {
+            return Err(OsError::PermissionDenied);
+        }
+        let data = self.data.lock();
+        let mut pos = self.pos.lock();
+        let start = (*pos as usize).min(data.bytes.len());
+        let end = (start + max).min(data.bytes.len());
+        *pos = end as u64;
+        Ok(data.bytes[start..end].to_vec())
+    }
+
+    /// Write at the current offset (extending the file as needed).
+    pub fn write(&self, buf: &[u8]) -> OsResult<usize> {
+        if !self.writable {
+            return Err(OsError::PermissionDenied);
+        }
+        let mut data = self.data.lock();
+        let mut pos = self.pos.lock();
+        let start = *pos as usize;
+        if data.bytes.len() < start + buf.len() {
+            data.bytes.resize(start + buf.len(), 0);
+        }
+        data.bytes[start..start + buf.len()].copy_from_slice(buf);
+        *pos += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    /// Current file length in bytes.
+    pub fn len(&self) -> u64 {
+        self.data.lock().bytes.len() as u64
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reposition the offset.
+    pub fn seek(&self, pos: u64) {
+        *self.pos.lock() = pos;
+    }
+}
+
+/// The ramdisk: a flat path → contents map.
+#[derive(Default)]
+pub struct Ramdisk {
+    files: Mutex<HashMap<String, Arc<Mutex<FileData>>>>,
+}
+
+impl Ramdisk {
+    /// An empty filesystem.
+    pub fn new() -> Ramdisk {
+        Ramdisk::default()
+    }
+
+    /// Open `path` in `mode`.
+    pub fn open(&self, path: &str, mode: OpenMode) -> OsResult<Arc<FileHandle>> {
+        let mut files = self.files.lock();
+        let data = match mode {
+            OpenMode::Read => files.get(path).ok_or(OsError::NotFound)?.clone(),
+            OpenMode::Write => {
+                let entry = files
+                    .entry(path.to_string())
+                    .or_insert_with(|| Arc::new(Mutex::new(FileData { bytes: Vec::new() })));
+                entry.lock().bytes.clear();
+                entry.clone()
+            }
+            OpenMode::Append => files
+                .entry(path.to_string())
+                .or_insert_with(|| Arc::new(Mutex::new(FileData { bytes: Vec::new() })))
+                .clone(),
+        };
+        let pos = match mode {
+            OpenMode::Append => data.lock().bytes.len() as u64,
+            _ => 0,
+        };
+        Ok(Arc::new(FileHandle {
+            data,
+            pos: Mutex::new(pos),
+            readable: mode == OpenMode::Read,
+            writable: mode != OpenMode::Read,
+        }))
+    }
+
+    /// Install file contents directly (test/workload setup; no cost).
+    pub fn add_file(&self, path: &str, bytes: Vec<u8>) {
+        self.files
+            .lock()
+            .insert(path.to_string(), Arc::new(Mutex::new(FileData { bytes })));
+    }
+
+    /// Full contents of a file (diagnostics; no cost).
+    pub fn contents(&self, path: &str) -> OsResult<Vec<u8>> {
+        self.files
+            .lock()
+            .get(path)
+            .map(|d| d.lock().bytes.clone())
+            .ok_or(OsError::NotFound)
+    }
+
+    /// File size, if it exists.
+    pub fn file_len(&self, path: &str) -> OsResult<u64> {
+        self.files
+            .lock()
+            .get(path)
+            .map(|d| d.lock().bytes.len() as u64)
+            .ok_or(OsError::NotFound)
+    }
+
+    /// Whether `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.lock().contains_key(path)
+    }
+
+    /// Remove a file.
+    pub fn remove(&self, path: &str) -> OsResult<()> {
+        self.files
+            .lock()
+            .remove(path)
+            .map(|_| ())
+            .ok_or(OsError::NotFound)
+    }
+
+    /// All paths with the given prefix, sorted (the FTP server's `LIST`).
+    pub fn list(&self, prefix: &str) -> Vec<(String, u64)> {
+        let files = self.files.lock();
+        let mut out: Vec<(String, u64)> = files
+            .iter()
+            .filter(|(p, _)| p.starts_with(prefix))
+            .map(|(p, d)| (p.clone(), d.lock().bytes.len() as u64))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read() {
+        let fs = Ramdisk::new();
+        let w = fs.open("a.txt", OpenMode::Write).unwrap();
+        w.write(b"hello ").unwrap();
+        w.write(b"world").unwrap();
+        let r = fs.open("a.txt", OpenMode::Read).unwrap();
+        assert_eq!(r.read(100).unwrap(), b"hello world");
+        assert_eq!(r.read(100).unwrap(), b"", "EOF returns empty");
+    }
+
+    #[test]
+    fn read_missing_fails() {
+        let fs = Ramdisk::new();
+        assert_eq!(
+            fs.open("nope", OpenMode::Read).err(),
+            Some(OsError::NotFound)
+        );
+    }
+
+    #[test]
+    fn write_truncates() {
+        let fs = Ramdisk::new();
+        fs.add_file("f", b"long old contents".to_vec());
+        let w = fs.open("f", OpenMode::Write).unwrap();
+        w.write(b"new").unwrap();
+        assert_eq!(fs.contents("f").unwrap(), b"new");
+    }
+
+    #[test]
+    fn append_mode() {
+        let fs = Ramdisk::new();
+        fs.add_file("f", b"one".to_vec());
+        let w = fs.open("f", OpenMode::Append).unwrap();
+        w.write(b"two").unwrap();
+        assert_eq!(fs.contents("f").unwrap(), b"onetwo");
+    }
+
+    #[test]
+    fn mode_enforcement() {
+        let fs = Ramdisk::new();
+        fs.add_file("f", b"x".to_vec());
+        let r = fs.open("f", OpenMode::Read).unwrap();
+        assert_eq!(r.write(b"y").err(), Some(OsError::PermissionDenied));
+        let w = fs.open("f", OpenMode::Write).unwrap();
+        assert_eq!(w.read(1).err(), Some(OsError::PermissionDenied));
+    }
+
+    #[test]
+    fn chunked_reads_advance_offset() {
+        let fs = Ramdisk::new();
+        let payload: Vec<u8> = (0..10_000u32).map(|i| i as u8).collect();
+        fs.add_file("big", payload.clone());
+        let r = fs.open("big", OpenMode::Read).unwrap();
+        let mut got = Vec::new();
+        loop {
+            let chunk = r.read(1024).unwrap();
+            if chunk.is_empty() {
+                break;
+            }
+            got.extend_from_slice(&chunk);
+        }
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn list_with_prefix() {
+        let fs = Ramdisk::new();
+        fs.add_file("dir/a", vec![0; 3]);
+        fs.add_file("dir/b", vec![0; 5]);
+        fs.add_file("other", vec![0; 1]);
+        let ls = fs.list("dir/");
+        assert_eq!(
+            ls,
+            vec![("dir/a".to_string(), 3), ("dir/b".to_string(), 5)]
+        );
+    }
+
+    #[test]
+    fn remove() {
+        let fs = Ramdisk::new();
+        fs.add_file("f", vec![1]);
+        assert!(fs.exists("f"));
+        fs.remove("f").unwrap();
+        assert!(!fs.exists("f"));
+        assert_eq!(fs.remove("f").err(), Some(OsError::NotFound));
+    }
+}

@@ -1,0 +1,590 @@
+//! Simulated physical memory and per-process virtual address spaces.
+//!
+//! The model is page-granular and carries **real bytes**: DMA targets
+//! physical frames, processes access virtual addresses, and fork() shares
+//! frames copy-on-write. This is what lets the reproduction *observe* the
+//! paper's Figure 5 bug — after a fork, a parent write moves the parent's
+//! virtual pages onto fresh frames while a registered (pinned) region keeps
+//! DMA-ing into the stale frames, corrupting received data.
+
+use std::collections::BTreeMap;
+
+use crate::costs::HostCosts;
+use dsim::{SimCtx, SimDuration};
+
+/// Page size of the simulated machine (bytes).
+pub const PAGE_SIZE: usize = 4096;
+
+/// A virtual address in some process's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VAddr(pub u64);
+
+#[allow(clippy::should_implement_trait)] // `Add<u64>` is also implemented
+impl VAddr {
+    /// Virtual page number.
+    #[inline]
+    pub fn vpn(self) -> u64 {
+        self.0 / PAGE_SIZE as u64
+    }
+
+    /// Offset within the page.
+    #[inline]
+    pub fn page_offset(self) -> usize {
+        (self.0 % PAGE_SIZE as u64) as usize
+    }
+
+    /// Address `n` bytes further on.
+    #[inline]
+    pub fn add(self, n: u64) -> VAddr {
+        VAddr(self.0 + n)
+    }
+}
+
+impl std::ops::Add<u64> for VAddr {
+    type Output = VAddr;
+    fn add(self, n: u64) -> VAddr {
+        VAddr(self.0 + n)
+    }
+}
+
+/// Index of a physical frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrameId(pub u32);
+
+struct Frame {
+    data: Box<[u8]>,
+    /// Number of address-space mappings plus pins referencing this frame.
+    refs: u32,
+}
+
+/// All physical memory of one machine.
+pub struct PhysMem {
+    frames: Vec<Option<Frame>>,
+    free: Vec<u32>,
+    allocated: usize,
+}
+
+impl Default for PhysMem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhysMem {
+    /// An empty physical memory.
+    pub fn new() -> PhysMem {
+        PhysMem {
+            frames: Vec::new(),
+            free: Vec::new(),
+            allocated: 0,
+        }
+    }
+
+    /// Allocate a zeroed frame with refcount 1.
+    pub fn alloc_frame(&mut self) -> FrameId {
+        self.allocated += 1;
+        let frame = Frame {
+            data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+            refs: 1,
+        };
+        match self.free.pop() {
+            Some(idx) => {
+                debug_assert!(self.frames[idx as usize].is_none());
+                self.frames[idx as usize] = Some(frame);
+                FrameId(idx)
+            }
+            None => {
+                self.frames.push(Some(frame));
+                FrameId((self.frames.len() - 1) as u32)
+            }
+        }
+    }
+
+    fn frame(&self, id: FrameId) -> &Frame {
+        self.frames[id.0 as usize]
+            .as_ref()
+            .expect("use of freed frame")
+    }
+
+    fn frame_mut(&mut self, id: FrameId) -> &mut Frame {
+        self.frames[id.0 as usize]
+            .as_mut()
+            .expect("use of freed frame")
+    }
+
+    /// Increment a frame's reference count (new mapping or pin).
+    pub fn incref(&mut self, id: FrameId) {
+        self.frame_mut(id).refs += 1;
+    }
+
+    /// Drop one reference; frees the frame when the count reaches zero.
+    pub fn decref(&mut self, id: FrameId) {
+        let frame = self.frame_mut(id);
+        assert!(frame.refs > 0, "decref of unreferenced frame");
+        frame.refs -= 1;
+        if frame.refs == 0 {
+            self.frames[id.0 as usize] = None;
+            self.free.push(id.0);
+            self.allocated -= 1;
+        }
+    }
+
+    /// Current reference count (test/diagnostic aid).
+    pub fn refcount(&self, id: FrameId) -> u32 {
+        self.frame(id).refs
+    }
+
+    /// Number of live frames.
+    pub fn frames_in_use(&self) -> usize {
+        self.allocated
+    }
+
+    /// Copy bytes out of a frame.
+    pub fn read_frame(&self, id: FrameId, offset: usize, out: &mut [u8]) {
+        out.copy_from_slice(&self.frame(id).data[offset..offset + out.len()]);
+    }
+
+    /// Copy bytes into a frame (this is what DMA does — no address-space
+    /// checks, by design).
+    pub fn write_frame(&mut self, id: FrameId, offset: usize, data: &[u8]) {
+        self.frame_mut(id).data[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Duplicate `src` into a fresh frame (COW break), refcount 1.
+    pub fn clone_frame(&mut self, src: FrameId) -> FrameId {
+        let data = self.frame(src).data.clone();
+        let new = self.alloc_frame();
+        self.frame_mut(new).data = data;
+        new
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PageEntry {
+    frame: FrameId,
+    /// Write must first break sharing by copying the frame.
+    cow: bool,
+    /// Part of a shared segment: fork() keeps the mapping shared and
+    /// writable (the paper's fix for the registered-buffer COW bug).
+    shared: bool,
+}
+
+/// One process's virtual address space.
+pub struct AddressSpace {
+    pages: BTreeMap<u64, PageEntry>,
+    /// Bump allocator for fresh mappings, in pages.
+    next_vpn: u64,
+}
+
+/// A physical run backing one page of a pinned region.
+#[derive(Debug, Clone, Copy)]
+pub struct PinnedPage {
+    /// The frame that was mapped at pin time. DMA uses this forever,
+    /// regardless of what the address space does afterwards.
+    pub frame: FrameId,
+}
+
+/// The result of pinning a virtual range: the physical frames the NIC will
+/// DMA to/from. Holding a pin keeps the frames alive (refcounted); it does
+/// **not** keep the process's mapping pointing at them — that mismatch is
+/// exactly the Figure 5 copy-on-write problem.
+#[derive(Debug, Clone)]
+pub struct PinnedRegion {
+    /// Starting virtual address at pin time (diagnostics only).
+    pub va: VAddr,
+    /// Total byte length.
+    pub len: usize,
+    /// Offset into the first page.
+    pub first_offset: usize,
+    /// One entry per spanned page.
+    pub pages: Vec<PinnedPage>,
+}
+
+impl PinnedRegion {
+    /// Number of spanned pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddressSpace {
+    /// An empty address space. Mappings start at 64 MB to keep address 0
+    /// unmapped (null deref traps in tests).
+    pub fn new() -> AddressSpace {
+        AddressSpace {
+            pages: BTreeMap::new(),
+            next_vpn: (64 * 1024 * 1024) / PAGE_SIZE as u64,
+        }
+    }
+
+    /// Map `len` bytes of fresh zeroed memory; returns the base address.
+    pub fn map_fresh(&mut self, phys: &mut PhysMem, len: usize, shared: bool) -> VAddr {
+        assert!(len > 0, "zero-length mapping");
+        let pages = len.div_ceil(PAGE_SIZE) as u64;
+        let base_vpn = self.next_vpn;
+        // Leave a one-page guard gap between mappings.
+        self.next_vpn += pages + 1;
+        for i in 0..pages {
+            let frame = phys.alloc_frame();
+            self.pages.insert(
+                base_vpn + i,
+                PageEntry {
+                    frame,
+                    cow: false,
+                    shared,
+                },
+            );
+        }
+        VAddr(base_vpn * PAGE_SIZE as u64)
+    }
+
+    /// Remove a mapping created by [`AddressSpace::map_fresh`].
+    pub fn unmap(&mut self, phys: &mut PhysMem, va: VAddr, len: usize) {
+        let pages = len.div_ceil(PAGE_SIZE) as u64;
+        for i in 0..pages {
+            let vpn = va.vpn() + i;
+            let entry = self.pages.remove(&vpn).expect("unmap of unmapped page");
+            phys.decref(entry.frame);
+        }
+    }
+
+    /// Total mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn entry(&self, vpn: u64) -> PageEntry {
+        *self
+            .pages
+            .get(&vpn)
+            .unwrap_or_else(|| panic!("access to unmapped page vpn={vpn:#x}"))
+    }
+
+    /// Read bytes through the virtual mapping.
+    pub fn read(&self, phys: &PhysMem, va: VAddr, out: &mut [u8]) {
+        let mut done = 0usize;
+        while done < out.len() {
+            let cur = va.add(done as u64);
+            let entry = self.entry(cur.vpn());
+            let off = cur.page_offset();
+            let n = (PAGE_SIZE - off).min(out.len() - done);
+            phys.read_frame(entry.frame, off, &mut out[done..done + n]);
+            done += n;
+        }
+    }
+
+    /// Write bytes through the virtual mapping, breaking COW as needed.
+    /// Returns the number of COW faults taken (the caller charges their
+    /// cost).
+    pub fn write(&mut self, phys: &mut PhysMem, va: VAddr, data: &[u8]) -> usize {
+        let mut faults = 0usize;
+        let mut done = 0usize;
+        while done < data.len() {
+            let cur = va.add(done as u64);
+            let vpn = cur.vpn();
+            let mut entry = self.entry(vpn);
+            if entry.cow {
+                faults += 1;
+                if phys.refcount(entry.frame) > 1 {
+                    // Linux semantics: the writer gets a fresh copy; other
+                    // mappers (and pins!) keep the old frame.
+                    let new = phys.clone_frame(entry.frame);
+                    phys.decref(entry.frame);
+                    entry.frame = new;
+                }
+                entry.cow = false;
+                self.pages.insert(vpn, entry);
+            }
+            let off = cur.page_offset();
+            let n = (PAGE_SIZE - off).min(data.len() - done);
+            phys.write_frame(entry.frame, off, &data[done..done + n]);
+            done += n;
+        }
+        faults
+    }
+
+    /// Translate and pin a virtual range for DMA. Frames gain a reference;
+    /// call [`unpin`] (via the owning machine) when done.
+    pub fn pin(&self, phys: &mut PhysMem, va: VAddr, len: usize) -> PinnedRegion {
+        assert!(len > 0, "zero-length pin");
+        let first_offset = va.page_offset();
+        let page_count = (first_offset + len).div_ceil(PAGE_SIZE);
+        let mut pages = Vec::with_capacity(page_count);
+        for i in 0..page_count {
+            let entry = self.entry(va.vpn() + i as u64);
+            phys.incref(entry.frame);
+            pages.push(PinnedPage { frame: entry.frame });
+        }
+        PinnedRegion {
+            va,
+            len,
+            first_offset,
+            pages,
+        }
+    }
+
+    /// Fork: duplicate this address space. Private pages become COW-shared
+    /// in **both** parent and child; shared-segment pages stay shared and
+    /// writable. Returns the child's address space.
+    pub fn fork(&mut self, phys: &mut PhysMem) -> AddressSpace {
+        let mut child_pages = BTreeMap::new();
+        for (vpn, entry) in self.pages.iter_mut() {
+            phys.incref(entry.frame);
+            if !entry.shared {
+                entry.cow = true;
+            }
+            child_pages.insert(
+                *vpn,
+                PageEntry {
+                    frame: entry.frame,
+                    cow: !entry.shared,
+                    shared: entry.shared,
+                },
+            );
+        }
+        AddressSpace {
+            pages: child_pages,
+            next_vpn: self.next_vpn,
+        }
+    }
+}
+
+/// Release a pin's frame references.
+pub fn unpin(phys: &mut PhysMem, region: &PinnedRegion) {
+    for p in &region.pages {
+        phys.decref(p.frame);
+    }
+}
+
+/// DMA write into a pinned region at byte `offset` (what a receiving NIC
+/// does). Bypasses all address-space state on purpose.
+pub fn dma_write(phys: &mut PhysMem, region: &PinnedRegion, offset: usize, data: &[u8]) {
+    assert!(
+        offset + data.len() <= region.len,
+        "DMA write past pinned region: {}+{} > {}",
+        offset,
+        data.len(),
+        region.len
+    );
+    let mut pos = region.first_offset + offset;
+    let mut done = 0usize;
+    while done < data.len() {
+        let page = pos / PAGE_SIZE;
+        let off = pos % PAGE_SIZE;
+        let n = (PAGE_SIZE - off).min(data.len() - done);
+        phys.write_frame(region.pages[page].frame, off, &data[done..done + n]);
+        pos += n;
+        done += n;
+    }
+}
+
+/// DMA read from a pinned region (what a sending NIC does).
+pub fn dma_read(phys: &PhysMem, region: &PinnedRegion, offset: usize, len: usize) -> Vec<u8> {
+    assert!(
+        offset + len <= region.len,
+        "DMA read past pinned region: {}+{} > {}",
+        offset,
+        len,
+        region.len
+    );
+    let mut out = vec![0u8; len];
+    let mut pos = region.first_offset + offset;
+    let mut done = 0usize;
+    while done < len {
+        let page = pos / PAGE_SIZE;
+        let off = pos % PAGE_SIZE;
+        let n = (PAGE_SIZE - off).min(len - done);
+        phys.read_frame(region.pages[page].frame, off, &mut out[done..done + n]);
+        pos += n;
+        done += n;
+    }
+    out
+}
+
+/// Charge the virtual-time cost of `faults` COW faults (fault handling plus
+/// one page copy each).
+pub fn charge_cow_faults(ctx: &SimCtx, costs: &HostCosts, faults: usize) {
+    if faults == 0 {
+        return;
+    }
+    let per_fault: SimDuration = costs.cow_fault + costs.memcpy(PAGE_SIZE);
+    ctx.sleep(per_fault * faults as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (PhysMem, AddressSpace) {
+        (PhysMem::new(), AddressSpace::new())
+    }
+
+    #[test]
+    fn alloc_read_write_roundtrip() {
+        let (mut phys, mut asp) = setup();
+        let va = asp.map_fresh(&mut phys, 10_000, false);
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        asp.write(&mut phys, va, &data);
+        let mut out = vec![0u8; 10_000];
+        asp.read(&phys, va, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn unaligned_cross_page_access() {
+        let (mut phys, mut asp) = setup();
+        let va = asp.map_fresh(&mut phys, 3 * PAGE_SIZE, false);
+        let start = va.add(PAGE_SIZE as u64 - 7);
+        let data = vec![0xAB; 20]; // spans two pages
+        asp.write(&mut phys, start, &data);
+        let mut out = vec![0u8; 20];
+        asp.read(&phys, start, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn fresh_pages_are_zeroed() {
+        let (mut phys, mut asp) = setup();
+        let va = asp.map_fresh(&mut phys, PAGE_SIZE, false);
+        let mut out = vec![1u8; PAGE_SIZE];
+        asp.read(&phys, va, &mut out);
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn unmap_frees_frames() {
+        let (mut phys, mut asp) = setup();
+        let va = asp.map_fresh(&mut phys, 4 * PAGE_SIZE, false);
+        assert_eq!(phys.frames_in_use(), 4);
+        asp.unmap(&mut phys, va, 4 * PAGE_SIZE);
+        assert_eq!(phys.frames_in_use(), 0);
+    }
+
+    #[test]
+    fn fork_shares_then_cow_on_parent_write() {
+        let (mut phys, mut asp) = setup();
+        let va = asp.map_fresh(&mut phys, PAGE_SIZE, false);
+        asp.write(&mut phys, va, b"original");
+        let child = asp.fork(&mut phys);
+        assert_eq!(phys.frames_in_use(), 1, "fork shares the frame");
+
+        // Parent writes -> COW fault -> parent moves to a new frame.
+        let faults = asp.write(&mut phys, va, b"parent!!");
+        assert_eq!(faults, 1);
+        assert_eq!(phys.frames_in_use(), 2);
+
+        // Child still sees the original bytes.
+        let mut out = vec![0u8; 8];
+        child.read(&phys, va, &mut out);
+        assert_eq!(&out, b"original");
+        let mut out = vec![0u8; 8];
+        asp.read(&phys, va, &mut out);
+        assert_eq!(&out, b"parent!!");
+    }
+
+    #[test]
+    fn second_write_after_cow_takes_no_fault() {
+        let (mut phys, mut asp) = setup();
+        let va = asp.map_fresh(&mut phys, PAGE_SIZE, false);
+        let _child = asp.fork(&mut phys);
+        assert_eq!(asp.write(&mut phys, va, b"x"), 1);
+        assert_eq!(asp.write(&mut phys, va, b"y"), 0);
+    }
+
+    #[test]
+    fn shared_segment_is_not_cowed_on_fork() {
+        let (mut phys, mut asp) = setup();
+        let va = asp.map_fresh(&mut phys, PAGE_SIZE, true);
+        let child = asp.fork(&mut phys);
+        let faults = asp.write(&mut phys, va, b"both see this");
+        assert_eq!(faults, 0, "shared pages take no COW fault");
+        let mut out = vec![0u8; 13];
+        child.read(&phys, va, &mut out);
+        assert_eq!(&out, b"both see this");
+    }
+
+    #[test]
+    fn figure5_cow_bug_reproduced() {
+        // The paper's Figure 5: register (pin) -> fork -> parent write
+        // => pin points at the stale frame; DMA lands where the parent no
+        // longer looks.
+        let (mut phys, mut asp) = setup();
+        let va = asp.map_fresh(&mut phys, PAGE_SIZE, false);
+        let pin = asp.pin(&mut phys, va, 64);
+
+        let _child = asp.fork(&mut phys);
+        // Parent touches the registered region after fork (Fig. 5(c)).
+        asp.write(&mut phys, va, b"touch");
+
+        // NIC delivers a message into the pinned (now stale) frame.
+        dma_write(&mut phys, &pin, 0, b"INCOMING DATA");
+
+        // The parent reads its receive buffer: the data is NOT there.
+        let mut got = vec![0u8; 13];
+        asp.read(&phys, va, &mut got);
+        assert_ne!(&got, b"INCOMING DATA", "corruption must be observable");
+
+        // With a shared segment (the SOVIA fix) the same sequence works.
+        let (mut phys, mut asp) = setup();
+        let va = asp.map_fresh(&mut phys, PAGE_SIZE, true);
+        let pin = asp.pin(&mut phys, va, 64);
+        let _child = asp.fork(&mut phys);
+        asp.write(&mut phys, va, b"touch");
+        dma_write(&mut phys, &pin, 0, b"INCOMING DATA");
+        let mut got = vec![0u8; 13];
+        asp.read(&phys, va, &mut got);
+        assert_eq!(&got, b"INCOMING DATA");
+    }
+
+    #[test]
+    fn pin_keeps_frame_alive_after_unmap() {
+        let (mut phys, mut asp) = setup();
+        let va = asp.map_fresh(&mut phys, PAGE_SIZE, false);
+        asp.write(&mut phys, va, b"persist");
+        let pin = asp.pin(&mut phys, va, 7);
+        asp.unmap(&mut phys, va, PAGE_SIZE);
+        assert_eq!(phys.frames_in_use(), 1, "pin holds the frame");
+        assert_eq!(dma_read(&phys, &pin, 0, 7), b"persist");
+        unpin(&mut phys, &pin);
+        assert_eq!(phys.frames_in_use(), 0);
+    }
+
+    #[test]
+    fn dma_respects_page_boundaries() {
+        let (mut phys, mut asp) = setup();
+        let va = asp.map_fresh(&mut phys, 3 * PAGE_SIZE, false);
+        let start = va.add(PAGE_SIZE as u64 - 100);
+        let pin = asp.pin(&mut phys, start, 300);
+        assert_eq!(pin.page_count(), 2);
+        let data: Vec<u8> = (0..300u32).map(|i| i as u8).collect();
+        dma_write(&mut phys, &pin, 0, &data);
+        assert_eq!(dma_read(&phys, &pin, 0, 300), data);
+        // The process sees the same bytes through its mapping.
+        let mut out = vec![0u8; 300];
+        asp.read(&phys, start, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "DMA write past pinned region")]
+    fn dma_out_of_bounds_panics() {
+        let (mut phys, mut asp) = setup();
+        let va = asp.map_fresh(&mut phys, PAGE_SIZE, false);
+        let pin = asp.pin(&mut phys, va, 16);
+        dma_write(&mut phys, &pin, 10, &[0u8; 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped page")]
+    fn unmapped_access_panics() {
+        let (phys, asp) = setup();
+        let mut out = [0u8; 1];
+        asp.read(&phys, VAddr(0), &mut out);
+    }
+}

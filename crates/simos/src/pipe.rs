@@ -1,0 +1,238 @@
+//! Virtual-time pipes (for the FTP server's fork + `/bin/ls` path).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use dsim::sync::SimCondvar;
+use dsim::{SimCtx, SimHandle};
+use parking_lot::Mutex;
+
+use crate::costs::HostCosts;
+use crate::error::{OsError, OsResult};
+
+/// Kernel pipe buffer size (one page, as in Linux 2.2).
+pub const PIPE_CAPACITY: usize = 4096;
+
+struct PipeState {
+    buf: VecDeque<u8>,
+    readers: u32,
+    writers: u32,
+}
+
+/// A unidirectional byte pipe with bounded buffering.
+pub struct Pipe {
+    state: Mutex<PipeState>,
+    readable: SimCondvar,
+    writable: SimCondvar,
+}
+
+impl Pipe {
+    /// Create a pipe with one reader end and one writer end accounted.
+    pub fn new(sim: &SimHandle) -> Arc<Pipe> {
+        Arc::new(Pipe {
+            state: Mutex::new(PipeState {
+                buf: VecDeque::new(),
+                readers: 1,
+                writers: 1,
+            }),
+            readable: SimCondvar::new(sim),
+            writable: SimCondvar::new(sim),
+        })
+    }
+
+    /// Account one more reader (fd duplication across fork).
+    pub fn add_reader(&self) {
+        self.state.lock().readers += 1;
+    }
+
+    /// Account one more writer.
+    pub fn add_writer(&self) {
+        self.state.lock().writers += 1;
+    }
+
+    /// Drop one reader; the last reader's departure makes writes fail.
+    pub fn drop_reader(&self) {
+        let mut st = self.state.lock();
+        assert!(st.readers > 0);
+        st.readers -= 1;
+        if st.readers == 0 {
+            drop(st);
+            self.writable.notify_all();
+        }
+    }
+
+    /// Drop one writer; the last writer's departure means EOF for readers
+    /// once the buffer drains.
+    pub fn drop_writer(&self) {
+        let mut st = self.state.lock();
+        assert!(st.writers > 0);
+        st.writers -= 1;
+        if st.writers == 0 {
+            drop(st);
+            self.readable.notify_all();
+        }
+    }
+
+    /// Blocking read of up to `max` bytes. Returns an empty vec on EOF
+    /// (no writers and the buffer is empty).
+    pub fn read(&self, ctx: &SimCtx, costs: &HostCosts, max: usize) -> OsResult<Vec<u8>> {
+        ctx.sleep(costs.pipe_op);
+        loop {
+            {
+                let mut st = self.state.lock();
+                if !st.buf.is_empty() {
+                    let n = max.min(st.buf.len());
+                    let out: Vec<u8> = st.buf.drain(..n).collect();
+                    drop(st);
+                    ctx.sleep(costs.memcpy(n));
+                    self.writable.notify_all_after(costs.context_switch);
+                    return Ok(out);
+                }
+                if st.writers == 0 {
+                    return Ok(Vec::new()); // EOF
+                }
+            }
+            self.readable.wait(ctx);
+        }
+    }
+
+    /// Blocking write of the whole buffer; fails with `Closed` if all
+    /// reader ends are gone (SIGPIPE analog).
+    pub fn write(&self, ctx: &SimCtx, costs: &HostCosts, data: &[u8]) -> OsResult<usize> {
+        ctx.sleep(costs.pipe_op);
+        let mut written = 0usize;
+        while written < data.len() {
+            {
+                let mut st = self.state.lock();
+                if st.readers == 0 {
+                    return Err(OsError::Closed);
+                }
+                let space = PIPE_CAPACITY - st.buf.len();
+                if space > 0 {
+                    let n = space.min(data.len() - written);
+                    st.buf.extend(&data[written..written + n]);
+                    written += n;
+                    drop(st);
+                    ctx.sleep(costs.memcpy(n));
+                    self.readable.notify_all_after(costs.context_switch);
+                    continue;
+                }
+            }
+            self.writable.wait(ctx);
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsim::Simulation;
+
+    fn costs() -> HostCosts {
+        HostCosts::free()
+    }
+
+    #[test]
+    fn write_then_read() {
+        let sim = Simulation::new();
+        let pipe = Pipe::new(&sim.handle());
+        {
+            let pipe = Arc::clone(&pipe);
+            sim.spawn("writer", move |ctx| {
+                pipe.write(ctx, &costs(), b"hello").unwrap();
+                pipe.drop_writer();
+            });
+        }
+        let got = Arc::new(Mutex::new(Vec::new()));
+        {
+            let pipe = Arc::clone(&pipe);
+            let got = Arc::clone(&got);
+            sim.spawn("reader", move |ctx| {
+                loop {
+                    let chunk = pipe.read(ctx, &costs(), 64).unwrap();
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    got.lock().extend_from_slice(&chunk);
+                }
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(got.lock().clone(), b"hello");
+    }
+
+    #[test]
+    fn large_transfer_respects_capacity() {
+        let sim = Simulation::new();
+        let pipe = Pipe::new(&sim.handle());
+        let payload: Vec<u8> = (0..50_000u32).map(|i| (i % 256) as u8).collect();
+        {
+            let pipe = Arc::clone(&pipe);
+            let payload = payload.clone();
+            sim.spawn("writer", move |ctx| {
+                pipe.write(ctx, &costs(), &payload).unwrap();
+                pipe.drop_writer();
+            });
+        }
+        let got = Arc::new(Mutex::new(Vec::new()));
+        {
+            let pipe = Arc::clone(&pipe);
+            let got = Arc::clone(&got);
+            sim.spawn("reader", move |ctx| loop {
+                let chunk = pipe.read(ctx, &costs(), 4096).unwrap();
+                if chunk.is_empty() {
+                    break;
+                }
+                got.lock().extend_from_slice(&chunk);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(got.lock().clone(), payload);
+    }
+
+    #[test]
+    fn write_to_closed_pipe_fails() {
+        let sim = Simulation::new();
+        let pipe = Pipe::new(&sim.handle());
+        pipe.drop_reader();
+        {
+            let pipe = Arc::clone(&pipe);
+            sim.spawn("writer", move |ctx| {
+                assert_eq!(
+                    pipe.write(ctx, &costs(), b"x").err(),
+                    Some(OsError::Closed)
+                );
+            });
+        }
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn eof_only_after_drain() {
+        let sim = Simulation::new();
+        let pipe = Pipe::new(&sim.handle());
+        {
+            let pipe = Arc::clone(&pipe);
+            sim.spawn("writer", move |ctx| {
+                pipe.write(ctx, &costs(), b"data").unwrap();
+                pipe.drop_writer();
+            });
+        }
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        {
+            let pipe = Arc::clone(&pipe);
+            let seen = Arc::clone(&seen);
+            sim.spawn("reader", move |ctx| {
+                // even though the writer is gone, buffered data must be
+                // delivered before EOF.
+                seen.lock().push(pipe.read(ctx, &costs(), 64).unwrap());
+                seen.lock().push(pipe.read(ctx, &costs(), 64).unwrap());
+            });
+        }
+        sim.run().unwrap();
+        let seen = seen.lock().clone();
+        assert_eq!(seen[0], b"data");
+        assert_eq!(seen[1], b"");
+    }
+}

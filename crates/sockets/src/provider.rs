@@ -1,0 +1,86 @@
+//! The provider interface every transport implements.
+//!
+//! `tcpip` registers a [`SocketProvider`] for [`SockType::Stream`]; the
+//! `sovia` crate registers one for [`SockType::Via`]. The dispatch in
+//! [`crate::api`] picks the provider per descriptor at run time — the
+//! paper's dynamic interposition (Figure 4) without the `dlsym` machinery,
+//! which a simulator has no use for.
+
+use std::sync::Arc;
+
+use dsim::SimCtx;
+use simos::{Machine, Process};
+
+use crate::types::{SockAddr, SockOption, SockResult, SockType, Shutdown};
+
+/// One endpoint (the object behind a socket descriptor).
+///
+/// All methods take `&self`; implementations use interior mutability, and
+/// blocking calls park the calling simulation process.
+pub trait Socket: Send + Sync {
+    /// Bind to a local address (port 0 = auto-assign).
+    fn bind(&self, ctx: &SimCtx, addr: SockAddr) -> SockResult<()>;
+    /// Start listening.
+    fn listen(&self, ctx: &SimCtx, backlog: usize) -> SockResult<()>;
+    /// Accept one connection, blocking; returns the connected socket and
+    /// the peer address.
+    fn accept(&self, ctx: &SimCtx) -> SockResult<(Arc<dyn Socket>, SockAddr)>;
+    /// Connect to a remote listener, blocking.
+    fn connect(&self, ctx: &SimCtx, addr: SockAddr) -> SockResult<()>;
+    /// Send bytes; may block on flow control. Returns bytes accepted.
+    fn send(&self, ctx: &SimCtx, data: &[u8]) -> SockResult<usize>;
+    /// Receive up to `max` bytes; blocks until data or EOF (empty vec).
+    fn recv(&self, ctx: &SimCtx, max: usize) -> SockResult<Vec<u8>>;
+    /// Half-close (`shutdown(2)`): signal EOF to the peer while keeping
+    /// the receive direction open.
+    fn shutdown(&self, ctx: &SimCtx, how: Shutdown) -> SockResult<()>;
+    /// Close the connection (graceful; FIN-style).
+    fn close(&self, ctx: &SimCtx) -> SockResult<()>;
+    /// Set a socket option.
+    fn set_option(&self, ctx: &SimCtx, opt: SockOption) -> SockResult<()>;
+    /// Local address, if bound.
+    fn local_addr(&self) -> Option<SockAddr>;
+    /// Peer address, if connected.
+    fn peer_addr(&self) -> Option<SockAddr>;
+    /// Downcast support (lets tests and diagnostics reach the concrete
+    /// socket type behind a descriptor).
+    fn as_any(self: Arc<Self>) -> Arc<dyn std::any::Any + Send + Sync>;
+}
+
+/// Factory for sockets of one type on one machine.
+pub trait SocketProvider: Send + Sync {
+    /// Create an unbound socket owned by `process`.
+    fn create(&self, ctx: &SimCtx, process: &Process) -> SockResult<Arc<dyn Socket>>;
+}
+
+/// Per-machine registry mapping socket types to providers.
+#[derive(Default)]
+pub struct ProviderRegistry {
+    stream: parking_lot::Mutex<Option<Arc<dyn SocketProvider>>>,
+    via: parking_lot::Mutex<Option<Arc<dyn SocketProvider>>>,
+}
+
+impl ProviderRegistry {
+    /// Fetch (or create) the registry of a machine.
+    pub fn of(machine: &Machine) -> Arc<ProviderRegistry> {
+        machine
+            .ext()
+            .get_or_init(|| Arc::new(ProviderRegistry::default()))
+    }
+
+    /// Register the provider for a socket type (replacing any previous).
+    pub fn register(&self, stype: SockType, provider: Arc<dyn SocketProvider>) {
+        match stype {
+            SockType::Stream => *self.stream.lock() = Some(provider),
+            SockType::Via => *self.via.lock() = Some(provider),
+        }
+    }
+
+    /// Look up the provider for a socket type.
+    pub fn get(&self, stype: SockType) -> Option<Arc<dyn SocketProvider>> {
+        match stype {
+            SockType::Stream => self.stream.lock().clone(),
+            SockType::Via => self.via.lock().clone(),
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Buffered stream wrapper over a socket descriptor — the
+//! `fdopen(fd, "w")` + `fprintf` pattern from Section 4.2 of the paper.
+//! Internally everything goes through [`crate::api::read`] /
+//! [`crate::api::write`], i.e. through the same per-descriptor dispatch
+//! the wrappers interpose on.
+
+use dsim::SimCtx;
+use simos::{Fd, Process};
+
+use crate::api;
+use crate::types::SockResult;
+
+/// Default stdio buffer size (BUFSIZ).
+pub const BUFSIZ: usize = 8192;
+
+/// A buffered reader/writer over a descriptor.
+pub struct SockFile {
+    process: Process,
+    fd: Fd,
+    rbuf: Vec<u8>,
+    rpos: usize,
+    wbuf: Vec<u8>,
+    eof: bool,
+}
+
+impl SockFile {
+    /// `fdopen`: wrap an existing descriptor.
+    pub fn fdopen(process: &Process, fd: Fd) -> SockFile {
+        SockFile {
+            process: process.clone(),
+            fd,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::with_capacity(BUFSIZ),
+            eof: false,
+        }
+    }
+
+    /// The underlying descriptor.
+    pub fn fd(&self) -> Fd {
+        self.fd
+    }
+
+    /// Buffered write (`fwrite`/`fprintf`).
+    pub fn write(&mut self, ctx: &SimCtx, data: &[u8]) -> SockResult<()> {
+        self.wbuf.extend_from_slice(data);
+        if self.wbuf.len() >= BUFSIZ {
+            self.flush(ctx)?;
+        }
+        Ok(())
+    }
+
+    /// Write a line, appending `\r\n` (the FTP control-channel convention).
+    pub fn write_line(&mut self, ctx: &SimCtx, line: &str) -> SockResult<()> {
+        self.write(ctx, line.as_bytes())?;
+        self.write(ctx, b"\r\n")?;
+        self.flush(ctx)
+    }
+
+    /// Flush buffered writes to the descriptor.
+    pub fn flush(&mut self, ctx: &SimCtx) -> SockResult<()> {
+        if !self.wbuf.is_empty() {
+            let data = std::mem::take(&mut self.wbuf);
+            let mut sent = 0;
+            while sent < data.len() {
+                sent += api::write(ctx, &self.process, self.fd, &data[sent..])?;
+            }
+        }
+        Ok(())
+    }
+
+    fn fill(&mut self, ctx: &SimCtx) -> SockResult<()> {
+        if self.rpos == self.rbuf.len() && !self.eof {
+            self.rbuf = api::read(ctx, &self.process, self.fd, BUFSIZ)?;
+            self.rpos = 0;
+            if self.rbuf.is_empty() {
+                self.eof = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Buffered read of up to `max` bytes; empty vec = EOF.
+    pub fn read(&mut self, ctx: &SimCtx, max: usize) -> SockResult<Vec<u8>> {
+        self.fill(ctx)?;
+        let n = max.min(self.rbuf.len() - self.rpos);
+        let out = self.rbuf[self.rpos..self.rpos + n].to_vec();
+        self.rpos += n;
+        Ok(out)
+    }
+
+    /// Read one `\n`-terminated line (terminator stripped, `\r` trimmed);
+    /// `None` at EOF.
+    pub fn read_line(&mut self, ctx: &SimCtx) -> SockResult<Option<String>> {
+        let mut line = Vec::new();
+        loop {
+            self.fill(ctx)?;
+            if self.rpos == self.rbuf.len() {
+                // EOF: return a final unterminated line if present.
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                break;
+            }
+            let b = self.rbuf[self.rpos];
+            self.rpos += 1;
+            if b == b'\n' {
+                break;
+            }
+            line.push(b);
+        }
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        Ok(Some(String::from_utf8_lossy(&line).into_owned()))
+    }
+
+    /// Flush and close the descriptor.
+    pub fn close(mut self, ctx: &SimCtx) -> SockResult<()> {
+        self.flush(ctx)?;
+        api::close(ctx, &self.process, self.fd)
+    }
+}

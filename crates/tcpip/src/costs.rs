@@ -1,0 +1,57 @@
+//! TCP/IP protocol processing costs.
+
+use dsim::SimDuration;
+
+/// Per-operation costs of the kernel TCP/IP stack (Linux 2.2-era,
+/// calibrated against the paper's 55 µs TCP-over-LANE latency and
+/// ~450 Mb/s peak; see EXPERIMENTS.md).
+#[derive(Debug, Clone)]
+pub struct TcpCosts {
+    /// TCP transmit path per segment (header build, socket locking, timers).
+    pub tx_segment: SimDuration,
+    /// TCP receive path per segment (PCB lookup, state processing).
+    pub rx_segment: SimDuration,
+    /// Pure-ACK transmit processing (no payload handling).
+    pub tx_ack: SimDuration,
+    /// IP layer per packet (route lookup, header).
+    pub ip: SimDuration,
+    /// Software checksum, ns per payload byte.
+    pub checksum_ns_per_byte: f64,
+    /// Retransmission timeout.
+    pub rto: SimDuration,
+    /// Delayed-ACK timeout (the paper: "typically up to 200 msec").
+    pub delayed_ack: SimDuration,
+}
+
+impl TcpCosts {
+    /// Linux 2.2.16 on a Pentium III-500.
+    pub fn linux22() -> TcpCosts {
+        TcpCosts {
+            tx_segment: SimDuration::from_micros_f64(6.5),
+            rx_segment: SimDuration::from_micros_f64(6.5),
+            tx_ack: SimDuration::from_micros_f64(3.0),
+            ip: SimDuration::from_micros_f64(1.5),
+            checksum_ns_per_byte: 2.0,
+            rto: SimDuration::from_millis(300),
+            delayed_ack: SimDuration::from_millis(200),
+        }
+    }
+
+    /// Zero-cost model for pure protocol-logic tests.
+    pub fn free() -> TcpCosts {
+        TcpCosts {
+            tx_segment: SimDuration::ZERO,
+            rx_segment: SimDuration::ZERO,
+            tx_ack: SimDuration::ZERO,
+            ip: SimDuration::ZERO,
+            checksum_ns_per_byte: 0.0,
+            rto: SimDuration::from_millis(300),
+            delayed_ack: SimDuration::from_millis(200),
+        }
+    }
+
+    /// Checksum cost over `bytes` payload bytes.
+    pub fn checksum(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_nanos_f64(self.checksum_ns_per_byte * bytes as f64)
+    }
+}

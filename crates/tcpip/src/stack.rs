@@ -1,0 +1,206 @@
+//! The per-machine TCP/IP stack: demultiplexing, listeners, port
+//! allocation, and the timer service.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dsim::sync::SimQueue;
+use dsim::SimCtx;
+use parking_lot::Mutex;
+use simos::{HostId, KernelCpu, Machine};
+use sockets::{SockAddr, SockError, SockResult};
+
+use crate::costs::TcpCosts;
+use crate::device::{IpRxHandler, NetDevice};
+use crate::packet::{IpPacket, TcpFlags, TcpSegment};
+use crate::tcb::{Tcb, TcpState, TimerEvent};
+
+type ConnKey = (u16, HostId, u16); // (local port, remote host, remote port)
+
+struct Listener {
+    backlog: Arc<SimQueue<Arc<Tcb>>>,
+}
+
+/// The TCP/IP stack of one machine, bound to one network device.
+pub struct TcpStack {
+    machine: Machine,
+    device: Arc<dyn NetDevice>,
+    costs: TcpCosts,
+    conns: Mutex<HashMap<ConnKey, Arc<Tcb>>>,
+    listeners: Mutex<HashMap<u16, Arc<Listener>>>,
+    timer_q: Arc<SimQueue<TimerEvent>>,
+    next_port: Mutex<u16>,
+}
+
+impl TcpStack {
+    /// Install a stack on `machine` over `device` and start its service
+    /// threads. Registers itself in the machine extension map.
+    pub fn install(machine: &Machine, device: Arc<dyn NetDevice>, costs: TcpCosts) -> Arc<TcpStack> {
+        let sim = machine.sim().clone();
+        let stack = Arc::new(TcpStack {
+            machine: machine.clone(),
+            device: Arc::clone(&device),
+            costs,
+            conns: Mutex::new(HashMap::new()),
+            listeners: Mutex::new(HashMap::new()),
+            timer_q: SimQueue::new(&sim),
+            next_port: Mutex::new(32_768),
+        });
+        machine.ext().insert::<TcpStack>(Arc::clone(&stack));
+        // Wire the receive path.
+        {
+            let rx_stack = Arc::clone(&stack);
+            let handler: IpRxHandler = Arc::new(move |ctx, bytes| {
+                rx_stack.on_packet(ctx, bytes);
+            });
+            device.set_rx(handler);
+        }
+        // Timer service thread.
+        {
+            let tstack = Arc::clone(&stack);
+            sim.spawn_daemon(format!("tcp-timers-{}", machine.id()), move |ctx| loop {
+                match tstack.timer_q.pop(ctx) {
+                    TimerEvent::Rto(tcb, gen) => tcb.handle_rto(ctx, gen),
+                    TimerEvent::DelayedAck(tcb, gen) => tcb.handle_delayed_ack(ctx, gen),
+                }
+            });
+        }
+        stack
+    }
+
+    /// Fetch the stack installed on a machine.
+    pub fn of(machine: &Machine) -> Arc<TcpStack> {
+        machine
+            .ext()
+            .get::<TcpStack>()
+            .expect("no TcpStack installed on this machine")
+    }
+
+    /// The machine this stack runs on.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn alloc_port(&self) -> u16 {
+        let mut p = self.next_port.lock();
+        *p = p.wrapping_add(1).max(32_768);
+        *p
+    }
+
+    fn new_tcb(&self, local: SockAddr, remote: SockAddr, state: TcpState) -> Arc<Tcb> {
+        let tcb = Tcb::new(
+            self.machine.sim(),
+            local,
+            remote,
+            Arc::clone(&self.device),
+            self.costs.clone(),
+            self.machine.costs().clone(),
+            KernelCpu::of(&self.machine),
+            Arc::clone(&self.timer_q),
+            state,
+        );
+        let key = (local.port, remote.host, remote.port);
+        self.conns.lock().insert(key, Arc::clone(&tcb));
+        // Drop the table entry once the connection fully closes.
+        {
+            let stack = self
+                .machine
+                .ext()
+                .get::<TcpStack>()
+                .expect("stack registered");
+            tcb.set_on_closed(move || {
+                stack.conns.lock().remove(&key);
+            });
+        }
+        tcb
+    }
+
+    /// Open a listener on `port`. Errors if the port is taken.
+    pub fn listen(&self, port: u16) -> SockResult<Arc<SimQueue<Arc<Tcb>>>> {
+        let mut listeners = self.listeners.lock();
+        if listeners.contains_key(&port) {
+            return Err(SockError::AddrInUse);
+        }
+        let backlog = SimQueue::new(self.machine.sim());
+        listeners.insert(
+            port,
+            Arc::new(Listener {
+                backlog: Arc::clone(&backlog),
+            }),
+        );
+        Ok(backlog)
+    }
+
+    /// Close a listener.
+    pub fn unlisten(&self, port: u16) {
+        self.listeners.lock().remove(&port);
+    }
+
+    /// Active connection establishment: SYN → wait for SYN-ACK.
+    pub fn connect(&self, ctx: &SimCtx, remote: SockAddr, local_port: Option<u16>) -> SockResult<Arc<Tcb>> {
+        let local = SockAddr::new(self.machine.id(), local_port.unwrap_or_else(|| self.alloc_port()));
+        let tcb = self.new_tcb(local, remote, TcpState::SynSent);
+        tcb.send_syn(ctx);
+        tcb.wait_established(ctx)?;
+        Ok(tcb)
+    }
+
+    /// The device receive path (runs on the device's service thread).
+    fn on_packet(self: &Arc<Self>, ctx: &SimCtx, bytes: Vec<u8>) {
+        let Some(packet) = IpPacket::decode(&bytes) else {
+            return;
+        };
+        if packet.dst != self.machine.id() {
+            return;
+        }
+        let src_host = packet.src;
+        let seg = packet.tcp;
+        let key = (seg.dst_port, src_host, seg.src_port);
+        let existing = self.conns.lock().get(&key).cloned();
+        if let Some(tcb) = existing {
+            tcb.on_segment(ctx, seg);
+            return;
+        }
+        // New connection?
+        if seg.flags.contains(TcpFlags::SYN) && !seg.flags.contains(TcpFlags::ACK) {
+            KernelCpu::of(&self.machine).charge(ctx, self.costs.rx_segment + self.costs.ip);
+            let listener = self.listeners.lock().get(&seg.dst_port).cloned();
+            match listener {
+                Some(l) => {
+                    let local = SockAddr::new(self.machine.id(), seg.dst_port);
+                    let remote = SockAddr::new(src_host, seg.src_port);
+                    let tcb = self.new_tcb(local, remote, TcpState::SynRcvd);
+                    tcb.send_syn_ack(ctx);
+                    // Queue for accept() right away; accept() waits for
+                    // establishment before returning the connection.
+                    l.backlog.push(tcb);
+                }
+                None => self.send_rst(ctx, src_host, &seg),
+            }
+            return;
+        }
+        // Segment for a dead/unknown connection: reset the sender unless
+        // it is itself an RST.
+        if !seg.flags.contains(TcpFlags::RST) && !seg.flags.contains(TcpFlags::ACK) {
+            self.send_rst(ctx, src_host, &seg);
+        }
+    }
+
+    fn send_rst(&self, ctx: &SimCtx, src_host: HostId, seg: &TcpSegment) {
+        KernelCpu::of(&self.machine).charge(ctx, self.costs.tx_ack + self.costs.ip);
+        let rst = IpPacket {
+            src: self.machine.id(),
+            dst: src_host,
+            tcp: TcpSegment {
+                src_port: seg.dst_port,
+                dst_port: seg.src_port,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::RST,
+                wnd: 0,
+                payload: Vec::new(),
+            },
+        };
+        self.device.send(ctx, src_host, rst.encode());
+    }
+}

@@ -1,0 +1,169 @@
+//! VIA descriptors: the work requests posted to send/receive queues.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::VipError;
+use crate::mem::MemRegion;
+
+/// Completion state of a descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DescState {
+    /// Posted, not yet processed by the NIC.
+    Pending,
+    /// Completed successfully.
+    Done,
+    /// Completed in error.
+    Error(VipError),
+}
+
+/// Mutable status block the NIC fills at completion.
+#[derive(Debug, Clone, Copy)]
+pub struct DescStatus {
+    /// Current state.
+    pub state: DescState,
+    /// Bytes actually transferred (receives: arriving message length).
+    pub xfer_len: usize,
+    /// Immediate data delivered with the message (receives only).
+    pub immediate: Option<u32>,
+}
+
+/// A send or receive descriptor: one data segment plus optional 32-bit
+/// immediate data (SOVIA uses the immediate field for packet type and
+/// delayed-ACK counts).
+pub struct Descriptor {
+    /// The registered region the NIC will DMA from/to.
+    pub region: Arc<MemRegion>,
+    // (no Debug derive: regions hold machine handles; see `fmt` impl below)
+    /// Byte offset of the segment within the region.
+    pub offset: usize,
+    /// Segment length: bytes to send, or buffer capacity for a receive.
+    pub len: usize,
+    /// Immediate data to carry (sends only).
+    pub immediate: Option<u32>,
+    status: Mutex<DescStatus>,
+}
+
+impl std::fmt::Debug for Descriptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Descriptor")
+            .field("offset", &self.offset)
+            .field("len", &self.len)
+            .field("immediate", &self.immediate)
+            .field("status", &*self.status.lock())
+            .finish()
+    }
+}
+
+impl Descriptor {
+    /// Build a send descriptor over `region[offset .. offset+len]`.
+    pub fn send(
+        region: Arc<MemRegion>,
+        offset: usize,
+        len: usize,
+        immediate: Option<u32>,
+    ) -> Arc<Descriptor> {
+        assert!(offset + len <= region.len(), "segment outside region");
+        Arc::new(Descriptor {
+            region,
+            offset,
+            len,
+            immediate,
+            status: Mutex::new(DescStatus {
+                state: DescState::Pending,
+                xfer_len: 0,
+                immediate: None,
+            }),
+        })
+    }
+
+    /// Build a receive descriptor with `len` bytes of buffer capacity.
+    pub fn recv(region: Arc<MemRegion>, offset: usize, len: usize) -> Arc<Descriptor> {
+        assert!(offset + len <= region.len(), "segment outside region");
+        Arc::new(Descriptor {
+            region,
+            offset,
+            len,
+            immediate: None,
+            status: Mutex::new(DescStatus {
+                state: DescState::Pending,
+                xfer_len: 0,
+                immediate: None,
+            }),
+        })
+    }
+
+    /// Current status snapshot.
+    pub fn status(&self) -> DescStatus {
+        *self.status.lock()
+    }
+
+    /// True once the NIC has completed this descriptor (successfully).
+    pub fn is_done(&self) -> bool {
+        matches!(self.status.lock().state, DescState::Done)
+    }
+
+    /// NIC side: mark complete.
+    pub(crate) fn complete(&self, xfer_len: usize, immediate: Option<u32>) {
+        let mut st = self.status.lock();
+        debug_assert_eq!(st.state, DescState::Pending, "double completion");
+        st.state = DescState::Done;
+        st.xfer_len = xfer_len;
+        st.immediate = immediate;
+    }
+
+    /// NIC side: mark failed.
+    pub(crate) fn fail(&self, err: VipError) {
+        let mut st = self.status.lock();
+        st.state = DescState::Error(err);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsim::Simulation;
+    use simos::{HostCosts, HostId, Machine};
+
+    fn region(len: usize) -> Arc<MemRegion> {
+        let sim = Simulation::new();
+        let m = Machine::new(&sim.handle(), HostId(0), "m", HostCosts::free());
+        let p = m.spawn_process("p");
+        let out: Arc<Mutex<Option<Arc<MemRegion>>>> = Arc::new(Mutex::new(None));
+        let out2 = Arc::clone(&out);
+        sim.spawn("main", move |ctx| {
+            let va = p.alloc(ctx, len);
+            *out2.lock() = Some(MemRegion::register(ctx, &p, va, len));
+        });
+        sim.run().unwrap();
+        let r = out.lock().take().unwrap();
+        r
+    }
+
+    #[test]
+    fn lifecycle() {
+        let r = region(4096);
+        let d = Descriptor::send(Arc::clone(&r), 0, 100, Some(7));
+        assert_eq!(d.status().state, DescState::Pending);
+        assert!(!d.is_done());
+        d.complete(100, None);
+        assert!(d.is_done());
+        assert_eq!(d.status().xfer_len, 100);
+    }
+
+    #[test]
+    fn failure_records_error() {
+        let r = region(4096);
+        let d = Descriptor::recv(Arc::clone(&r), 0, 64);
+        d.fail(VipError::Disconnected);
+        assert_eq!(d.status().state, DescState::Error(VipError::Disconnected));
+    }
+
+    #[test]
+    #[should_panic(expected = "segment outside region")]
+    fn oversized_segment_panics() {
+        let r = region(4096);
+        let _ = Descriptor::send(r, 4000, 200, None);
+    }
+}

@@ -1,0 +1,323 @@
+//! The simulated VIA-aware NIC ("hardware + firmware").
+//!
+//! One engine process per NIC serially consumes *jobs*: doorbells (send
+//! descriptors to process) and arriving frames. Serial processing is
+//! deliberate — it is why a flood of per-packet ACKs steals transmit
+//! capacity, which is the effect SOVIA's delayed acknowledgments exist to
+//! avoid (Fig. 6(b), SOVIA_FLOWCTRL vs SOVIA_DACKS).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use dsim::sync::SimQueue;
+use dsim::{SimCtx, SimDuration};
+use parking_lot::Mutex;
+use simnic::{Link, LinkParams, ViaNicCosts};
+use simos::Machine;
+
+use crate::conn::KernelAgent;
+use crate::cq::WqKind;
+use crate::descriptor::Descriptor;
+use crate::error::VipError;
+use crate::vi::{Reliability, Vi, ViAttributes, ViState};
+
+/// Network-wide address of a VIA NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViaNicId(pub u32);
+
+impl std::fmt::Display for ViaNicId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vianic{}", self.0)
+    }
+}
+
+/// Media overhead per VIA frame on the wire (header + CRC).
+pub const VIA_FRAME_OVERHEAD: usize = 30;
+
+/// Connection-management messages (handled by kernel agents, not
+/// descriptors).
+#[derive(Debug, Clone)]
+pub(crate) enum MgmtMsg {
+    ConnReq {
+        req_id: u64,
+        discriminator: u64,
+        from_nic: ViaNicId,
+        from_vi: u32,
+    },
+    ConnAccept {
+        req_id: u64,
+        peer_nic: ViaNicId,
+        peer_vi: u32,
+    },
+    ConnReject {
+        req_id: u64,
+    },
+    Disconnect {
+        dst_vi: u32,
+    },
+}
+
+/// A frame on a VIA link.
+pub(crate) enum ViaFrame {
+    Data {
+        dst_vi: u32,
+        payload: Vec<u8>,
+        immediate: Option<u32>,
+    },
+    Mgmt(MgmtMsg),
+}
+
+/// Jobs consumed by the NIC engine.
+pub(crate) enum NicJob {
+    /// A doorbell rang for VI `vi_id`: process its next send descriptor.
+    Doorbell { vi_id: u32 },
+    /// A frame arrived from the wire.
+    Rx(ViaFrame),
+}
+
+/// Counters exposed for tests and the experiment harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NicStats {
+    /// Data frames transmitted.
+    pub tx_frames: u64,
+    /// Data payload bytes transmitted.
+    pub tx_bytes: u64,
+    /// Data frames received (matched to a descriptor).
+    pub rx_frames: u64,
+    /// Data payload bytes received.
+    pub rx_bytes: u64,
+    /// Arrivals dropped because no descriptor was pre-posted (unreliable
+    /// VIs) — the pre-posting constraint made visible.
+    pub rx_drops_no_descriptor: u64,
+    /// Arrivals for unknown/unconnected VIs.
+    pub rx_drops_bad_vi: u64,
+}
+
+/// A VIA-capable NIC attached to one machine.
+pub struct ViaNic {
+    id: ViaNicId,
+    machine: Machine,
+    costs: ViaNicCosts,
+    jobs: Arc<SimQueue<NicJob>>,
+    links: Mutex<HashMap<ViaNicId, Arc<Link<NicJob>>>>,
+    vis: Mutex<HashMap<u32, Arc<Vi>>>,
+    next_vi: AtomicU32,
+    stats: Mutex<NicStats>,
+    pub(crate) agent: KernelAgent,
+}
+
+impl ViaNic {
+    /// Create a NIC on `machine`, register it in the machine's extension
+    /// map, and start its engine.
+    pub fn attach(machine: &Machine, id: ViaNicId, costs: ViaNicCosts) -> Arc<ViaNic> {
+        let sim = machine.sim().clone();
+        let nic = Arc::new(ViaNic {
+            id,
+            machine: machine.clone(),
+            costs,
+            jobs: SimQueue::new(&sim),
+            links: Mutex::new(HashMap::new()),
+            vis: Mutex::new(HashMap::new()),
+            next_vi: AtomicU32::new(1),
+            stats: Mutex::new(NicStats::default()),
+            agent: KernelAgent::new(&sim),
+        });
+        machine.ext().insert::<ViaNic>(Arc::clone(&nic));
+        let engine = Arc::clone(&nic);
+        sim.spawn_daemon(format!("vianic-{}", id.0), move |ctx| {
+            engine.run_engine(ctx);
+        });
+        nic
+    }
+
+    /// Fetch the NIC previously attached to a machine.
+    pub fn of(machine: &Machine) -> Arc<ViaNic> {
+        machine
+            .ext()
+            .get::<ViaNic>()
+            .expect("no ViaNic attached to this machine")
+    }
+
+    /// Cross-wire two NICs with symmetric link parameters.
+    pub fn connect_pair(a: &Arc<ViaNic>, b: &Arc<ViaNic>, params: LinkParams) {
+        let sim = a.machine.sim();
+        let ab = Arc::new(Link::new(sim, params, Arc::clone(&b.jobs)));
+        let ba = Arc::new(Link::new(sim, params, Arc::clone(&a.jobs)));
+        a.links.lock().insert(b.id, ab);
+        b.links.lock().insert(a.id, ba);
+    }
+
+    /// This NIC's network address.
+    pub fn id(&self) -> ViaNicId {
+        self.id
+    }
+
+    /// The machine this NIC is attached to.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// NIC hardware cost parameters.
+    pub fn costs(&self) -> &ViaNicCosts {
+        &self.costs
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> NicStats {
+        *self.stats.lock()
+    }
+
+    /// `VipCreateVi`.
+    pub fn create_vi(self: &Arc<Self>, attrs: ViAttributes) -> Arc<Vi> {
+        let id = self.next_vi.fetch_add(1, Ordering::Relaxed);
+        let jobs = Arc::clone(&self.jobs);
+        let vi = Vi::new(
+            self.machine.sim(),
+            id,
+            attrs,
+            self.machine.costs().clone(),
+            self.costs.max_transfer,
+            Box::new(move |vi_id| {
+                jobs.push(NicJob::Doorbell { vi_id });
+            }),
+        );
+        self.vis.lock().insert(id, Arc::clone(&vi));
+        vi
+    }
+
+    /// `VipDestroyVi`: remove the VI from the NIC's tables.
+    pub fn destroy_vi(&self, vi: &Arc<Vi>) {
+        self.vis.lock().remove(&vi.id());
+    }
+
+    fn link_to(&self, peer: ViaNicId) -> Arc<Link<NicJob>> {
+        Arc::clone(
+            self.links
+                .lock()
+                .get(&peer)
+                .unwrap_or_else(|| panic!("{} has no link to {}", self.id, peer)),
+        )
+    }
+
+    pub(crate) fn send_mgmt(&self, to: ViaNicId, msg: MgmtMsg) {
+        self.link_to(to).transmit(NicJob::Rx(ViaFrame::Mgmt(msg)));
+    }
+
+    fn lookup_vi(&self, id: u32) -> Option<Arc<Vi>> {
+        self.vis.lock().get(&id).cloned()
+    }
+
+    pub(crate) fn vis_lock(&self) -> parking_lot::MutexGuard<'_, HashMap<u32, Arc<Vi>>> {
+        self.vis.lock()
+    }
+
+    // ----- the engine -------------------------------------------------
+
+    fn run_engine(self: &Arc<Self>, ctx: &SimCtx) {
+        loop {
+            match self.jobs.pop(ctx) {
+                NicJob::Doorbell { vi_id } => self.process_tx(ctx, vi_id),
+                NicJob::Rx(frame) => self.process_rx(ctx, frame),
+            }
+        }
+    }
+
+    fn process_tx(self: &Arc<Self>, ctx: &SimCtx, vi_id: u32) {
+        let Some(vi) = self.lookup_vi(vi_id) else {
+            return; // VI destroyed after the doorbell rang
+        };
+        let Some(desc) = vi.sq.pending.lock().pop_front() else {
+            return; // stale doorbell
+        };
+        ctx.sleep(self.costs.tx_desc);
+        let (peer_nic, peer_vi) = match vi.state() {
+            ViState::Connected { peer_nic, peer_vi } => (peer_nic, peer_vi),
+            _ => {
+                desc.fail(VipError::NotConnected);
+                vi.sq.complete(desc, &vi.send_cq, vi.id(), WqKind::Send);
+                return;
+            }
+        };
+        let link = self.link_to(peer_nic);
+        // DMA the payload out of host memory and serialize it onto the
+        // wire; the NIC is busy for the whole transfer (store-and-forward).
+        let payload = desc.region.dma_read(desc.offset, desc.len);
+        let busy_ns = self.costs.dma_ns_per_byte * desc.len as f64
+            + link.params().ns_per_byte * (desc.len + VIA_FRAME_OVERHEAD) as f64;
+        ctx.sleep(SimDuration::from_nanos_f64(busy_ns));
+        {
+            let mut st = self.stats.lock();
+            st.tx_frames += 1;
+            st.tx_bytes += desc.len as u64;
+        }
+        let immediate = desc.immediate;
+        desc.complete(desc.len, None);
+        vi.sq.complete(desc, &vi.send_cq, vi.id(), WqKind::Send);
+        link.transmit(NicJob::Rx(ViaFrame::Data {
+            dst_vi: peer_vi,
+            payload,
+            immediate,
+        }));
+    }
+
+    fn process_rx(self: &Arc<Self>, ctx: &SimCtx, frame: ViaFrame) {
+        match frame {
+            ViaFrame::Mgmt(msg) => {
+                ctx.sleep(self.costs.rx_desc);
+                KernelAgent::handle_mgmt(self, ctx, msg);
+            }
+            ViaFrame::Data {
+                dst_vi,
+                payload,
+                immediate,
+            } => {
+                ctx.sleep(self.costs.rx_desc);
+                let Some(vi) = self.lookup_vi(dst_vi) else {
+                    self.stats.lock().rx_drops_bad_vi += 1;
+                    return;
+                };
+                if !matches!(vi.state(), ViState::Connected { .. }) {
+                    self.stats.lock().rx_drops_bad_vi += 1;
+                    return;
+                }
+                let maybe_desc = vi.rq.pending.lock().pop_front();
+                let Some(desc) = maybe_desc else {
+                    // The pre-posting constraint: no descriptor, no
+                    // delivery.
+                    self.stats.lock().rx_drops_no_descriptor += 1;
+                    if vi.reliability == Reliability::ReliableDelivery {
+                        vi.break_with(VipError::NoDescriptor);
+                    }
+                    return;
+                };
+                if payload.len() > desc.len {
+                    desc.fail(VipError::BufferTooSmall);
+                    vi.rq.complete(desc, &vi.recv_cq, vi.id(), WqKind::Recv);
+                    if vi.reliability == Reliability::ReliableDelivery {
+                        vi.break_with(VipError::BufferTooSmall);
+                    }
+                    return;
+                }
+                // DMA into the pre-posted buffer.
+                ctx.sleep(SimDuration::from_nanos_f64(
+                    self.costs.dma_ns_per_byte * payload.len() as f64,
+                ));
+                desc.region.dma_write(desc.offset, &payload);
+                {
+                    let mut st = self.stats.lock();
+                    st.rx_frames += 1;
+                    st.rx_bytes += payload.len() as u64;
+                }
+                desc.complete(payload.len(), immediate);
+                vi.rq.complete(desc, &vi.recv_cq, vi.id(), WqKind::Recv);
+            }
+        }
+    }
+
+    /// Post a send descriptor on a VI of this NIC (thin convenience over
+    /// [`Vi::post_send`] for symmetry with the VIPL naming).
+    pub fn post_send(&self, ctx: &SimCtx, vi: &Arc<Vi>, desc: Arc<Descriptor>) -> Result<(), VipError> {
+        vi.post_send(ctx, desc)
+    }
+}

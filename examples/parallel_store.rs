@@ -1,0 +1,90 @@
+//! The paper's future work, running today: a user-level striped file
+//! store over SOVIA ("we plan to port a user-level parallel file
+//! system ... over the SOVIA layer").
+//!
+//! A 4-host cLAN cluster: one client stripes a 12 MiB file across three
+//! storage servers, then reads it back, over `SOCK_VIA` — plain sockets
+//! code end to end.
+//!
+//! Run with: `cargo run --release --example parallel_store`
+
+use std::sync::Arc;
+
+use apps::pfs::{spawn_pfs_server, PfsClient, DEFAULT_STRIPE};
+use dsim::{SimDuration, Simulation};
+use parking_lot::Mutex;
+use simos::HostId;
+use sockets::SockType;
+use sovia::SoviaConfig;
+use sovia_repro::testbed;
+
+const FILE_LEN: usize = 12 * 1024 * 1024;
+const PORT: u16 = 9100;
+
+fn main() {
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let machines = testbed::sovia_cluster(&h, 4, SoviaConfig::default());
+    let servers = [HostId(1), HostId(2), HostId(3)];
+    for m in &machines[1..] {
+        spawn_pfs_server(&h, m.spawn_process("pfs"), PORT, SockType::Via, Some(1));
+    }
+
+    let report = Arc::new(Mutex::new(String::new()));
+    let report2 = Arc::clone(&report);
+    let client_proc = machines[0].spawn_process("pfs-client");
+    let server_machines: Vec<simos::Machine> = machines[1..].to_vec();
+
+    sim.spawn("client", move |ctx| {
+        ctx.sleep(SimDuration::from_millis(1));
+        let pfs = PfsClient::connect(
+            ctx,
+            &client_proc,
+            &servers,
+            PORT,
+            SockType::Via,
+            DEFAULT_STRIPE,
+        )
+        .expect("connect to storage servers");
+
+        let mut data = vec![0u8; FILE_LEN];
+        dsim::rng::fill_pattern(99, 0, &mut data);
+
+        let t0 = ctx.now();
+        pfs.write_striped(ctx, "dataset.bin", &data).unwrap();
+        let w = ctx.now().since(t0);
+
+        let t0 = ctx.now();
+        let back = pfs.read_striped(ctx, "dataset.bin").unwrap().unwrap();
+        let r = ctx.now().since(t0);
+
+        assert_eq!(back.len(), FILE_LEN);
+        assert_eq!(dsim::rng::check_pattern(99, 0, &back), None);
+        pfs.close(ctx).unwrap();
+
+        let mut out = String::new();
+        out.push_str(&format!(
+            "write: {:>6.0} Mbps ({w})\nread:  {:>6.0} Mbps ({r})\n",
+            FILE_LEN as f64 * 8.0 / w.as_secs_f64() / 1e6,
+            FILE_LEN as f64 * 8.0 / r.as_secs_f64() / 1e6,
+        ));
+        out.push_str("stripe placement:\n");
+        for (i, m) in server_machines.iter().enumerate() {
+            out.push_str(&format!(
+                "  server {}: {} objects\n",
+                i + 1,
+                m.fs().list("pfs/").len()
+            ));
+        }
+        *report2.lock() = out;
+    });
+
+    sim.run().expect("simulation failed");
+    println!(
+        "striped store over SOVIA, {} MiB across {} servers ({} KiB stripes):",
+        FILE_LEN / (1024 * 1024),
+        servers.len(),
+        DEFAULT_STRIPE / 1024
+    );
+    print!("{}", report.lock());
+}

@@ -1,0 +1,77 @@
+//! Quickstart: two simulated hosts with cLAN NICs, a SOVIA echo server
+//! and client talking plain Berkeley sockets — except the socket type is
+//! `SOCK_VIA`, so every byte bypasses the kernel.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use dsim::{SimDuration, Simulation};
+use parking_lot::Mutex;
+use simos::HostId;
+use sockets::{api, SockAddr, SockType};
+use sovia::SoviaConfig;
+use sovia_repro::testbed;
+
+fn main() {
+    let sim = Simulation::new();
+
+    // The platform: two PIII-500 machines, back-to-back cLAN1000, SOVIA
+    // registered as the SOCK_VIA provider on both.
+    let (m0, m1) = testbed::sovia_pair(&sim.handle(), SoviaConfig::default());
+    let (client_proc, server_proc) = testbed::procs(&m0, &m1);
+
+    let addr = SockAddr::new(HostId(1), 7);
+    let report = Arc::new(Mutex::new(String::new()));
+
+    // The server: completely ordinary sockets code.
+    sim.spawn("server", move |ctx| {
+        let s = api::socket(ctx, &server_proc, SockType::Via).unwrap();
+        api::bind(ctx, &server_proc, s, addr).unwrap();
+        api::listen(ctx, &server_proc, s, 8).unwrap();
+        let (conn, peer) = api::accept(ctx, &server_proc, s).unwrap();
+        println!("[server] accepted connection from {peer}");
+        loop {
+            let data = api::recv(ctx, &server_proc, conn, 64 * 1024).unwrap();
+            if data.is_empty() {
+                break; // orderly EOF
+            }
+            api::send_all(ctx, &server_proc, conn, &data).unwrap();
+        }
+        api::close(ctx, &server_proc, conn).unwrap();
+        api::close(ctx, &server_proc, s).unwrap();
+    });
+
+    // The client: ping-pong a few messages and time them.
+    {
+        let report = Arc::clone(&report);
+        sim.spawn("client", move |ctx| {
+            ctx.sleep(SimDuration::from_micros(100));
+            let s = api::socket(ctx, &client_proc, SockType::Via).unwrap();
+            api::connect(ctx, &client_proc, s, addr).unwrap();
+
+            let mut lines = String::new();
+            for size in [4usize, 64, 1024, 32 * 1024] {
+                let msg = vec![0x42u8; size];
+                let rounds = 20;
+                let t0 = ctx.now();
+                for _ in 0..rounds {
+                    api::send_all(ctx, &client_proc, s, &msg).unwrap();
+                    let echo = api::recv_exact(ctx, &client_proc, s, size).unwrap();
+                    assert_eq!(echo, msg);
+                }
+                let rtt = ctx.now().since(t0).as_micros_f64() / f64::from(rounds);
+                lines.push_str(&format!(
+                    "[client] {size:>6} B messages: one-way latency {:>7.1} us\n",
+                    rtt / 2.0
+                ));
+            }
+            api::close(ctx, &client_proc, s).unwrap();
+            *report.lock() = lines;
+        });
+    }
+
+    let end = sim.run().expect("simulation failed");
+    print!("{}", report.lock());
+    println!("[sim] completed at virtual time {end}");
+}

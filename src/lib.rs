@@ -1,0 +1,36 @@
+//! # sovia-repro — reproduction of SOVIA (IEEE CLUSTER 2001)
+//!
+//! *"SOVIA: A User-level Sockets Layer Over Virtual Interface
+//! Architecture"* — Jin-Soo Kim, Kangho Kim, Sung-In Jung (ETRI).
+//!
+//! This umbrella crate re-exports the whole stack and provides the
+//! [`testbed`] builders used by the examples, integration tests, and
+//! benchmark harness. The layer cake, bottom-up:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`dsim`] | deterministic virtual-time discrete-event executor |
+//! | [`simos`] | simulated hosts: COW memory, fork, pipes, ramdisk, costs |
+//! | [`simnic`] | wires and NIC models (cLAN / Fast Ethernet presets) |
+//! | [`via`] | the VIPL: VIs, descriptors, CQs, registration, connections |
+//! | [`tcpip`] | kernel TCP/IP baseline + the LANE (IP-over-VIA) driver |
+//! | [`sockets`] | BSD sockets front-end with per-descriptor dispatch |
+//! | [`sovia`] | **the paper's contribution**: user-level sockets over VIA |
+//! | [`apps`] | FTP and SunRPC ported over the sockets API |
+//!
+//! See `DESIGN.md` for the substitution rationale (the paper's hardware is
+//! simulated, its protocols are real) and `EXPERIMENTS.md` for the
+//! paper-vs-measured results of every table and figure.
+
+#![warn(missing_docs)]
+
+pub mod testbed;
+
+pub use apps;
+pub use dsim;
+pub use simnic;
+pub use simos;
+pub use sockets;
+pub use sovia;
+pub use tcpip;
+pub use via;

@@ -1,0 +1,117 @@
+//! Half-close (`shutdown(SHUT_WR)`) semantics across both transports:
+//! the classic request/EOF/response pattern — the client sends its whole
+//! request, shuts down the write half, and keeps reading the response.
+
+use std::sync::Arc;
+
+use dsim::{SimDuration, Simulation};
+use parking_lot::Mutex;
+use simos::HostId;
+use sovia_repro::sockets::{api, Shutdown, SockAddr, SockError, SockType};
+use sovia_repro::sovia::SoviaConfig;
+use sovia_repro::testbed;
+
+const PORT: u16 = 2020;
+const REQ: usize = 30_000;
+const RESP: usize = 70_000;
+
+fn run_half_close(stype: SockType) {
+    let sim = Simulation::new();
+    let done = Arc::new(Mutex::new(false));
+    let done2 = Arc::clone(&done);
+    let run = move |ctx: &dsim::SimCtx, m0: simos::Machine, m1: simos::Machine| {
+        let (cp, sp) = testbed::procs(&m0, &m1);
+        {
+            let sp = sp.clone();
+            ctx.handle().spawn("server", move |sctx| {
+                let s = api::socket(sctx, &sp, stype).unwrap();
+                api::bind(sctx, &sp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+                api::listen(sctx, &sp, s, 1).unwrap();
+                let (c, _) = api::accept(sctx, &sp, s).unwrap();
+                // Consume the request until EOF (the client's shutdown).
+                let mut req = Vec::new();
+                loop {
+                    let d = api::recv(sctx, &sp, c, 8192).unwrap();
+                    if d.is_empty() {
+                        break;
+                    }
+                    req.extend_from_slice(&d);
+                }
+                assert_eq!(req.len(), REQ);
+                assert_eq!(dsim::rng::check_pattern(1, 0, &req), None);
+                // Then answer over the still-open reverse direction.
+                let mut resp = vec![0u8; RESP];
+                dsim::rng::fill_pattern(2, 0, &mut resp);
+                api::send_all(sctx, &sp, c, &resp).unwrap();
+                api::close(sctx, &sp, c).unwrap();
+                api::close(sctx, &sp, s).unwrap();
+            });
+        }
+        let done = Arc::clone(&done2);
+        ctx.handle().spawn("client", move |cctx| {
+            cctx.sleep(SimDuration::from_millis(1));
+            let s = api::socket(cctx, &cp, stype).unwrap();
+            api::connect(cctx, &cp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+            let mut req = vec![0u8; REQ];
+            dsim::rng::fill_pattern(1, 0, &mut req);
+            api::send_all(cctx, &cp, s, &req).unwrap();
+            api::shutdown(cctx, &cp, s, Shutdown::Write).unwrap();
+            // Writes must now fail...
+            assert_eq!(
+                api::send(cctx, &cp, s, b"late").unwrap_err(),
+                SockError::Closed
+            );
+            // ...but the read half still delivers the whole response.
+            let resp = api::recv_exact(cctx, &cp, s, RESP).unwrap();
+            assert_eq!(resp.len(), RESP);
+            assert_eq!(dsim::rng::check_pattern(2, 0, &resp), None);
+            // And then a clean EOF.
+            assert_eq!(api::recv(cctx, &cp, s, 10).unwrap(), b"");
+            api::close(cctx, &cp, s).unwrap();
+            *done.lock() = true;
+        });
+    };
+    match stype {
+        SockType::Via => {
+            let (m0, m1) = testbed::sovia_pair(&sim.handle(), SoviaConfig::default());
+            sim.spawn("boot", move |ctx| run(ctx, m0, m1));
+        }
+        SockType::Stream => {
+            let (m0, m1) = testbed::tcp_ethernet_pair(&sim.handle());
+            sim.spawn("boot", move |ctx| run(ctx, m0, m1));
+        }
+    }
+    sim.run().unwrap();
+    assert!(*done.lock());
+}
+
+#[test]
+fn half_close_over_sovia() {
+    run_half_close(SockType::Via);
+}
+
+#[test]
+fn half_close_over_tcp() {
+    run_half_close(SockType::Stream);
+}
+
+#[test]
+fn sovia_listen_port_conflict_is_addrinuse() {
+    let sim = Simulation::new();
+    let (m0, _m1) = testbed::sovia_pair(&sim.handle(), SoviaConfig::default());
+    let p = m0.spawn_process("p");
+    sim.spawn("main", move |ctx| {
+        let a = api::socket(ctx, &p, SockType::Via).unwrap();
+        api::bind(ctx, &p, a, SockAddr::new(HostId(0), 7)).unwrap();
+        api::listen(ctx, &p, a, 1).unwrap();
+        let b = api::socket(ctx, &p, SockType::Via).unwrap();
+        api::bind(ctx, &p, b, SockAddr::new(HostId(0), 7)).unwrap();
+        assert_eq!(
+            api::listen(ctx, &p, b, 1).unwrap_err(),
+            SockError::AddrInUse
+        );
+        api::close(ctx, &p, a).unwrap();
+        api::close(ctx, &p, b).unwrap();
+    });
+    sim.run().unwrap();
+}

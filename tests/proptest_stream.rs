@@ -1,0 +1,160 @@
+//! Property-based tests on the core invariant of a sockets layer: **the
+//! byte stream is preserved** — any sequence of sends, with any receive
+//! chunking, over any SOVIA configuration or kernel TCP, delivers exactly
+//! the sent bytes in order, and the pre-posting constraint is never
+//! violated (zero NIC drops).
+
+use std::sync::Arc;
+
+use dsim::{SimDuration, Simulation};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use simos::HostId;
+use sovia_repro::sockets::{api, SockAddr, SockType};
+use sovia_repro::sovia::SoviaConfig;
+use sovia_repro::testbed;
+use sovia_repro::via::ViaNic;
+
+const PORT: u16 = 7;
+
+/// Drive a full client/server exchange with the given send sizes and a
+/// receive chunk size; assert byte-exactness and zero drops.
+fn roundtrip(config: SoviaConfig, sends: Vec<usize>, recv_chunk: usize, seed: u64) {
+    let total: usize = sends.iter().sum();
+    let sim = Simulation::new();
+    let (m0, m1) = testbed::sovia_pair(&sim.handle(), config);
+    let (cp, sp) = testbed::procs(&m0, &m1);
+    {
+        let sp = sp.clone();
+        sim.spawn("server", move |ctx| {
+            let s = api::socket(ctx, &sp, SockType::Via).unwrap();
+            api::bind(ctx, &sp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+            api::listen(ctx, &sp, s, 1).unwrap();
+            let (c, _) = api::accept(ctx, &sp, s).unwrap();
+            let mut got = Vec::with_capacity(total);
+            while got.len() < total {
+                let d = api::recv(ctx, &sp, c, recv_chunk).unwrap();
+                if d.is_empty() {
+                    break;
+                }
+                got.extend_from_slice(&d);
+            }
+            assert_eq!(got.len(), total, "stream length");
+            assert_eq!(
+                dsim::rng::check_pattern(seed, 0, &got),
+                None,
+                "stream content"
+            );
+            api::close(ctx, &sp, c).unwrap();
+            api::close(ctx, &sp, s).unwrap();
+        });
+    }
+    sim.spawn("client", move |ctx| {
+        ctx.sleep(SimDuration::from_micros(100));
+        let s = api::socket(ctx, &cp, SockType::Via).unwrap();
+        api::connect(ctx, &cp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+        let mut off = 0u64;
+        for n in sends {
+            let mut buf = vec![0u8; n];
+            dsim::rng::fill_pattern(seed, off, &mut buf);
+            api::send_all(ctx, &cp, s, &buf).unwrap();
+            off += n as u64;
+        }
+        api::close(ctx, &cp, s).unwrap();
+    });
+    sim.run().unwrap();
+    // The pre-posting constraint held throughout: nothing was dropped.
+    for m in [&m0, &m1] {
+        assert_eq!(
+            ViaNic::of(m).stats().rx_drops_no_descriptor,
+            0,
+            "SOVIA must never violate the pre-posting constraint"
+        );
+    }
+}
+
+fn config_strategy() -> impl Strategy<Value = SoviaConfig> {
+    prop_oneof![
+        Just(SoviaConfig::single()),
+        Just(SoviaConfig::flowctrl()),
+        Just(SoviaConfig::dacks()),
+        Just(SoviaConfig::combine()),
+        Just(SoviaConfig::handler()),
+        // Odd windows and thresholds.
+        (2u32..12, 1u32..6).prop_map(|(w, t)| SoviaConfig {
+            flow_control: true,
+            window: w,
+            delayed_acks: true,
+            ack_threshold: t.min(w - 1).max(1),
+            ..SoviaConfig::single()
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case is a whole simulation
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn sovia_preserves_byte_streams(
+        config in config_strategy(),
+        sends in prop::collection::vec(1usize..60_000, 1..12),
+        recv_chunk in 1usize..40_000,
+        seed in any::<u64>(),
+    ) {
+        roundtrip(config, sends, recv_chunk, seed);
+    }
+
+    #[test]
+    fn tcp_preserves_byte_streams(
+        sends in prop::collection::vec(1usize..40_000, 1..8),
+        recv_chunk in 1usize..20_000,
+        seed in any::<u64>(),
+    ) {
+        let total: usize = sends.iter().sum();
+        let sim = Simulation::new();
+        let (m0, m1) = testbed::tcp_ethernet_pair(&sim.handle());
+        let (cp, sp) = testbed::procs(&m0, &m1);
+        let ok = Arc::new(Mutex::new(false));
+        {
+            let sp = sp.clone();
+            let ok = Arc::clone(&ok);
+            sim.spawn("server", move |ctx| {
+                let s = api::socket(ctx, &sp, SockType::Stream).unwrap();
+                api::bind(ctx, &sp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+                api::listen(ctx, &sp, s, 1).unwrap();
+                let (c, _) = api::accept(ctx, &sp, s).unwrap();
+                let mut got = Vec::with_capacity(total);
+                while got.len() < total {
+                    let d = api::recv(ctx, &sp, c, recv_chunk).unwrap();
+                    if d.is_empty() {
+                        break;
+                    }
+                    got.extend_from_slice(&d);
+                }
+                assert_eq!(got.len(), total);
+                assert_eq!(dsim::rng::check_pattern(seed, 0, &got), None);
+                *ok.lock() = true;
+                api::close(ctx, &sp, c).unwrap();
+                api::close(ctx, &sp, s).unwrap();
+            });
+        }
+        sim.spawn("client", move |ctx| {
+            ctx.sleep(SimDuration::from_micros(100));
+            let s = api::socket(ctx, &cp, SockType::Stream).unwrap();
+            api::connect(ctx, &cp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+            let mut off = 0u64;
+            for n in sends {
+                let mut buf = vec![0u8; n];
+                dsim::rng::fill_pattern(seed, off, &mut buf);
+                api::send_all(ctx, &cp, s, &buf).unwrap();
+                off += n as u64;
+            }
+            api::close(ctx, &cp, s).unwrap();
+        });
+        sim.run().unwrap();
+        prop_assert!(*ok.lock());
+    }
+}

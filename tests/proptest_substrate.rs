@@ -1,0 +1,171 @@
+//! Property-based tests on the substrates: the simulated virtual-memory
+//! system (COW/fork/pin invariants) and the wire codecs.
+
+use proptest::prelude::*;
+
+use sovia_repro::apps::rpc::msg::{record_mark, CallMsg, ReplyMsg, ReplyStat};
+use sovia_repro::apps::rpc::xdr::{XdrDecoder, XdrEncoder};
+use sovia_repro::simos::mem::{
+    dma_read, dma_write, unpin, AddressSpace, PhysMem, PAGE_SIZE,
+};
+use sovia_repro::tcpip::{IpPacket, TcpFlags, TcpSegment};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// A random interleaving of writes in parent and child after fork must
+    /// behave like two independent memories seeded with the same contents.
+    #[test]
+    fn cow_fork_behaves_like_deep_copy(
+        len in 1usize..5 * PAGE_SIZE,
+        init in any::<u64>(),
+        ops in prop::collection::vec(
+            (any::<bool>(), 0usize..5 * PAGE_SIZE, 1usize..600, any::<u8>()),
+            0..24
+        ),
+    ) {
+        let mut phys = PhysMem::new();
+        let mut parent = AddressSpace::new();
+        let va = parent.map_fresh(&mut phys, len, false);
+
+        // Seed the region.
+        let mut seed_data = vec![0u8; len];
+        dsim::rng::fill_pattern(init, 0, &mut seed_data);
+        parent.write(&mut phys, va, &seed_data);
+
+        let mut child = parent.fork(&mut phys);
+
+        // The reference model: two plain byte vectors.
+        let mut model_parent = seed_data.clone();
+        let mut model_child = seed_data;
+
+        for (to_child, off, n, byte) in ops {
+            let off = off % len;
+            let n = n.min(len - off);
+            if n == 0 {
+                continue;
+            }
+            let data = vec![byte; n];
+            let target_va = va.add(off as u64);
+            if to_child {
+                child.write(&mut phys, target_va, &data);
+                model_child[off..off + n].copy_from_slice(&data);
+            } else {
+                parent.write(&mut phys, target_va, &data);
+                model_parent[off..off + n].copy_from_slice(&data);
+            }
+        }
+        let mut got_p = vec![0u8; len];
+        parent.read(&phys, va, &mut got_p);
+        let mut got_c = vec![0u8; len];
+        child.read(&phys, va, &mut got_c);
+        prop_assert_eq!(got_p, model_parent);
+        prop_assert_eq!(got_c, model_child);
+    }
+
+    /// DMA through a pin reads/writes exactly the pinned window, at any
+    /// alignment, and pins keep frames alive across unmaps.
+    #[test]
+    fn pin_dma_window_is_exact(
+        pages in 1usize..6,
+        start_off in 0usize..PAGE_SIZE,
+        len in 1usize..3 * PAGE_SIZE,
+        fill in any::<u64>(),
+    ) {
+        let region_len = pages * PAGE_SIZE;
+        prop_assume!(start_off + len <= region_len);
+        let mut phys = PhysMem::new();
+        let mut asp = AddressSpace::new();
+        let va = asp.map_fresh(&mut phys, region_len, false);
+        let pin = asp.pin(&mut phys, va.add(start_off as u64), len);
+
+        let mut data = vec![0u8; len];
+        dsim::rng::fill_pattern(fill, 0, &mut data);
+        dma_write(&mut phys, &pin, 0, &data);
+        prop_assert_eq!(dma_read(&phys, &pin, 0, len), data.clone());
+
+        // Visible through the mapping too (no fork happened).
+        let mut via_map = vec![0u8; len];
+        asp.read(&phys, va.add(start_off as u64), &mut via_map);
+        prop_assert_eq!(via_map, data.clone());
+
+        // Frames survive unmap while pinned.
+        asp.unmap(&mut phys, va, region_len);
+        prop_assert_eq!(dma_read(&phys, &pin, 0, len), data);
+        unpin(&mut phys, &pin);
+        prop_assert_eq!(phys.frames_in_use(), 0);
+    }
+
+    /// XDR strings/opaques/ints round-trip for arbitrary content.
+    #[test]
+    fn xdr_roundtrip(
+        a in any::<u32>(),
+        b in any::<i32>(),
+        s in "\\PC{0,120}",
+        blob in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let mut e = XdrEncoder::new();
+        e.put_u32(a).put_i32(b).put_string(&s).put_opaque(&blob);
+        let bytes = e.finish();
+        prop_assert_eq!(bytes.len() % 4, 0, "XDR is 4-byte aligned");
+        let mut d = XdrDecoder::new(&bytes);
+        prop_assert_eq!(d.get_u32().unwrap(), a);
+        prop_assert_eq!(d.get_i32().unwrap(), b);
+        prop_assert_eq!(d.get_string().unwrap(), s);
+        prop_assert_eq!(d.get_opaque().unwrap(), blob);
+        prop_assert_eq!(d.remaining(), 0);
+    }
+
+    /// RPC CALL/REPLY messages round-trip, and the record mark matches.
+    #[test]
+    fn rpc_messages_roundtrip(
+        xid in any::<u32>(),
+        prog in any::<u32>(),
+        vers in any::<u32>(),
+        proc_num in any::<u32>(),
+        args in prop::collection::vec(any::<u8>(), 0..200).prop_map(|v| {
+            // args must be 4-aligned to parse back identically
+            let mut v = v;
+            while v.len() % 4 != 0 { v.push(0); }
+            v
+        }),
+    ) {
+        let call = CallMsg { xid, prog, vers, proc_num, args };
+        let body = call.encode();
+        prop_assert_eq!(CallMsg::decode(&body).unwrap(), call);
+        let framed = record_mark(&body);
+        prop_assert_eq!(framed.len(), body.len() + 4);
+
+        let reply = ReplyMsg { xid, stat: ReplyStat::Success, result: body.clone() };
+        prop_assert_eq!(ReplyMsg::decode(&reply.encode()).unwrap(), reply);
+    }
+
+    /// TCP/IP packets round-trip through the byte codec.
+    #[test]
+    fn ip_packets_roundtrip(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        flags in 0u8..32,
+        wnd in any::<u32>(),
+        payload in prop::collection::vec(any::<u8>(), 0..1460),
+    ) {
+        let p = IpPacket {
+            src: simos::HostId(src),
+            dst: simos::HostId(dst),
+            tcp: TcpSegment {
+                src_port: sport,
+                dst_port: dport,
+                seq,
+                ack,
+                flags: TcpFlags(flags),
+                wnd,
+                payload,
+            },
+        };
+        prop_assert_eq!(IpPacket::decode(&p.encode()), Some(p));
+    }
+}

@@ -1,0 +1,246 @@
+//! Focused protocol-detail tests across the stack: the observable
+//! counters and edge cases that the broad integration tests do not pin
+//! down individually.
+
+use std::sync::Arc;
+
+use dsim::{SimDuration, Simulation};
+use parking_lot::Mutex;
+use simos::HostId;
+use sovia_repro::sockets::{api, SockAddr, SockError, SockType};
+use sovia_repro::sovia::{ConnStats, SovSocket, SoviaConfig};
+use sovia_repro::testbed;
+
+const PORT: u16 = 7;
+
+/// Run a bidirectional workload and capture both sides' connection stats.
+fn run_and_stats(
+    config: SoviaConfig,
+    client_msgs: usize,
+    msg_len: usize,
+) -> (ConnStats, ConnStats) {
+    let sim = Simulation::new();
+    let (m0, m1) = testbed::sovia_pair(&sim.handle(), config);
+    let (cp, sp) = testbed::procs(&m0, &m1);
+    let server_stats = Arc::new(Mutex::new(None));
+    let client_stats = Arc::new(Mutex::new(None));
+    {
+        let sp = sp.clone();
+        let server_stats = Arc::clone(&server_stats);
+        sim.spawn("server", move |ctx| {
+            let s = api::socket(ctx, &sp, SockType::Via).unwrap();
+            api::bind(ctx, &sp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+            api::listen(ctx, &sp, s, 1).unwrap();
+            let (c, _) = api::accept(ctx, &sp, s).unwrap();
+            // Echo everything back (bidirectional traffic enables
+            // piggybacking).
+            loop {
+                let d = api::recv(ctx, &sp, c, 64 * 1024).unwrap();
+                if d.is_empty() {
+                    break;
+                }
+                api::send_all(ctx, &sp, c, &d).unwrap();
+            }
+            let table = api::SocketTable::of(&sp);
+            let sov = table.get(c).unwrap().as_any().downcast::<SovSocket>().unwrap();
+            *server_stats.lock() = sov.connection().map(|c| c.stats());
+            api::close(ctx, &sp, c).unwrap();
+            api::close(ctx, &sp, s).unwrap();
+        });
+    }
+    {
+        let client_stats = Arc::clone(&client_stats);
+        sim.spawn("client", move |ctx| {
+            ctx.sleep(SimDuration::from_micros(100));
+            let s = api::socket(ctx, &cp, SockType::Via).unwrap();
+            api::connect(ctx, &cp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+            let msg = vec![0xAAu8; msg_len];
+            for _ in 0..client_msgs {
+                api::send_all(ctx, &cp, s, &msg).unwrap();
+                let _ = api::recv_exact(ctx, &cp, s, msg_len).unwrap();
+            }
+            let table = api::SocketTable::of(&cp);
+            let sov = table.get(s).unwrap().as_any().downcast::<SovSocket>().unwrap();
+            *client_stats.lock() = sov.connection().map(|c| c.stats());
+            api::close(ctx, &cp, s).unwrap();
+        });
+    }
+    sim.run().unwrap();
+    let c = client_stats.lock().take().unwrap();
+    let s = server_stats.lock().take().unwrap();
+    (c, s)
+}
+
+#[test]
+fn dacks_piggyback_on_bidirectional_traffic() {
+    // With delayed ACKs and echo traffic, acknowledgments should ride on
+    // reverse DATA packets instead of standalone ACKs.
+    let (client, server) = run_and_stats(SoviaConfig::dacks(), 40, 512);
+    assert_eq!(client.data_sent, 40);
+    assert_eq!(server.data_sent, 40);
+    assert!(
+        client.acks_piggybacked + server.acks_piggybacked > 0,
+        "echo traffic must piggyback acknowledgments"
+    );
+    // Ping-pong consumes one packet per recv; with t=16 never reached and
+    // piggybacking available, standalone ACKs should be rare.
+    assert!(
+        server.acks_sent <= 5,
+        "standalone ACKs should be rare under piggybacking, got {}",
+        server.acks_sent
+    );
+}
+
+#[test]
+fn stop_and_wait_sends_one_ack_per_packet() {
+    let (client, server) = run_and_stats(SoviaConfig::single(), 20, 256);
+    assert_eq!(client.data_sent, 20);
+    // Without delayed acks every consumed DATA is acknowledged (possibly
+    // piggybacked on the echo, but SINGLE disables piggybacking paths
+    // only for *delayed* acks — here each consume acks immediately).
+    assert!(
+        server.acks_sent + server.acks_piggybacked >= 20,
+        "every packet must be acknowledged: sent={} piggy={}",
+        server.acks_sent,
+        server.acks_piggybacked
+    );
+}
+
+#[test]
+fn large_sends_use_zero_copy_registration() {
+    // 3 sends of 3 chunks each (96 KB per send at 32 KB chunks).
+    let (client, _server) = run_and_stats(SoviaConfig::dacks(), 3, 96 * 1024);
+    assert_eq!(
+        client.zero_copy_registrations, 9,
+        "each 32 KB chunk of a large send registers once"
+    );
+    // 96 KB = 3 chunks per send.
+    assert_eq!(client.data_sent, 9);
+}
+
+#[test]
+fn small_sends_never_register() {
+    let (client, _server) = run_and_stats(SoviaConfig::dacks(), 10, 2048);
+    assert_eq!(
+        client.zero_copy_registrations, 0,
+        "sends at the 2 KB threshold are copied, not registered"
+    );
+}
+
+#[test]
+fn combining_counts_combined_sends() {
+    let sim = Simulation::new();
+    let (m0, m1) = testbed::sovia_pair(&sim.handle(), SoviaConfig::combine());
+    let (cp, sp) = testbed::procs(&m0, &m1);
+    {
+        let sp = sp.clone();
+        sim.spawn("server", move |ctx| {
+            let s = api::socket(ctx, &sp, SockType::Via).unwrap();
+            api::bind(ctx, &sp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+            api::listen(ctx, &sp, s, 1).unwrap();
+            let (c, _) = api::accept(ctx, &sp, s).unwrap();
+            let _ = api::recv_exact(ctx, &sp, c, 64 * 50).unwrap();
+            api::close(ctx, &sp, c).unwrap();
+            api::close(ctx, &sp, s).unwrap();
+        });
+    }
+    let stats = Arc::new(Mutex::new(None));
+    {
+        let stats = Arc::clone(&stats);
+        sim.spawn("client", move |ctx| {
+            ctx.sleep(SimDuration::from_micros(100));
+            let s = api::socket(ctx, &cp, SockType::Via).unwrap();
+            api::connect(ctx, &cp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+            for _ in 0..50 {
+                api::send_all(ctx, &cp, s, &[0x11u8; 64]).unwrap();
+            }
+            // Keep the connection handle: close() flushes the pending
+            // combine buffer, and the stats must include that tail.
+            let table = api::SocketTable::of(&cp);
+            let sov = table.get(s).unwrap().as_any().downcast::<SovSocket>().unwrap();
+            let conn = sov.connection().unwrap();
+            api::close(ctx, &cp, s).unwrap();
+            *stats.lock() = Some(conn.stats());
+        });
+    }
+    sim.run().unwrap();
+    let st = stats.lock().take().unwrap();
+    assert_eq!(st.combined_sends, 50, "every small send was combined");
+    assert!(
+        st.data_sent < 50,
+        "combined sends must produce fewer packets, got {}",
+        st.data_sent
+    );
+    assert_eq!(st.bytes_sent, 64 * 50);
+}
+
+#[test]
+fn send_to_fresh_socket_is_not_connected() {
+    let sim = Simulation::new();
+    let (m0, _m1) = testbed::sovia_pair(&sim.handle(), SoviaConfig::default());
+    let p = m0.spawn_process("p");
+    sim.spawn("main", move |ctx| {
+        let s = api::socket(ctx, &p, SockType::Via).unwrap();
+        assert_eq!(
+            api::send(ctx, &p, s, b"x").unwrap_err(),
+            SockError::NotConnected
+        );
+        assert_eq!(
+            api::recv(ctx, &p, s, 1).unwrap_err(),
+            SockError::NotConnected
+        );
+        // accept on a non-listening socket is invalid.
+        assert_eq!(api::accept(ctx, &p, s).unwrap_err(), SockError::InvalidState);
+        api::close(ctx, &p, s).unwrap();
+        // And the descriptor is gone afterwards.
+        assert_eq!(api::send(ctx, &p, s, b"x").unwrap_err(), SockError::BadFd);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn sovia_connections_on_three_hosts_simultaneously() {
+    // One client talks to servers on two other hosts over one NIC each —
+    // the link fabric and per-connection state must not interfere.
+    let sim = Simulation::new();
+    let machines = testbed::sovia_cluster(&sim.handle(), 3, SoviaConfig::default());
+    for (i, m) in machines.iter().enumerate().skip(1) {
+        let p = m.spawn_process("server");
+        let tag = i as u64;
+        sim.spawn(format!("server{i}"), move |ctx| {
+            let host = p.machine().id();
+            let s = api::socket(ctx, &p, SockType::Via).unwrap();
+            api::bind(ctx, &p, s, SockAddr::new(host, PORT)).unwrap();
+            api::listen(ctx, &p, s, 1).unwrap();
+            let (c, _) = api::accept(ctx, &p, s).unwrap();
+            let d = api::recv_exact(ctx, &p, c, 10_000).unwrap();
+            assert_eq!(dsim::rng::check_pattern(tag, 0, &d), None);
+            // Reply with the doubled tag pattern.
+            let mut out = vec![0u8; 5_000];
+            dsim::rng::fill_pattern(tag * 2, 0, &mut out);
+            api::send_all(ctx, &p, c, &out).unwrap();
+            api::close(ctx, &p, c).unwrap();
+            api::close(ctx, &p, s).unwrap();
+        });
+    }
+    let client = machines[0].spawn_process("client");
+    sim.spawn("client", move |ctx| {
+        ctx.sleep(SimDuration::from_micros(200));
+        let mut fds = Vec::new();
+        for i in 1u32..3 {
+            let s = api::socket(ctx, &client, SockType::Via).unwrap();
+            api::connect(ctx, &client, s, SockAddr::new(HostId(i), PORT)).unwrap();
+            let mut msg = vec![0u8; 10_000];
+            dsim::rng::fill_pattern(u64::from(i), 0, &mut msg);
+            api::send_all(ctx, &client, s, &msg).unwrap();
+            fds.push((i, s));
+        }
+        // Interleaved replies from both hosts.
+        for (i, s) in fds {
+            let d = api::recv_exact(ctx, &client, s, 5_000).unwrap();
+            assert_eq!(dsim::rng::check_pattern(u64::from(i) * 2, 0, &d), None);
+            api::close(ctx, &client, s).unwrap();
+        }
+    });
+    sim.run().unwrap();
+}
