@@ -1,0 +1,250 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build container has no crates.io access, so the workspace pins this
+//! path crate (see `[workspace.dependencies]` in the root manifest). It
+//! keeps the bench-definition surface (`criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `Bencher::iter`) and
+//! replaces the statistics engine with a simple fixed-budget timer that
+//! prints mean wall time per iteration. Good enough to spot order-of-
+//! magnitude regressions; the tracked numbers live in `BENCH_substrate.json`
+//! (see `bench --bin perf_report`), not here.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level bench context.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    /// Source-compat shim; CLI arguments are ignored.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a single function outside a group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (sample_size, warm, measure) =
+            (self.sample_size, self.warm_up_time, self.measurement_time);
+        run_one(name, sample_size, warm, measure, f);
+        self
+    }
+
+    /// Source-compat shim; reports are plain text on stdout.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower bound on timed iterations (advisory).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up before measurement.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Time budget for measurement.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Source-compat shim (throughput annotations are not rendered).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark one function within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, self.warm_up_time, self.measurement_time, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Throughput annotation (accepted, not rendered).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifier for parameterised benches.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Passed to the closure under test; call [`Bencher::iter`].
+pub struct Bencher {
+    iters_done: u64,
+    total: Duration,
+    budget: Duration,
+    min_iters: u64,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly until the measurement budget is spent.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        loop {
+            let start = Instant::now();
+            black_box(f());
+            self.total += start.elapsed();
+            self.iters_done += 1;
+            if self.iters_done >= self.min_iters && self.total >= self.budget {
+                break;
+            }
+            // Never loop forever on very fast bodies.
+            if self.iters_done >= 1_000_000 {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measure: Duration,
+    mut f: F,
+) {
+    // Warm-up pass: small fraction of the budget.
+    let mut warm_bench = Bencher {
+        iters_done: 0,
+        total: Duration::ZERO,
+        budget: warm_up,
+        min_iters: 1,
+    };
+    f(&mut warm_bench);
+    // Measured pass.
+    let mut bench = Bencher {
+        iters_done: 0,
+        total: Duration::ZERO,
+        budget: measure,
+        min_iters: sample_size as u64,
+    };
+    f(&mut bench);
+    let mean_ns = if bench.iters_done == 0 {
+        0.0
+    } else {
+        bench.total.as_nanos() as f64 / bench.iters_done as f64
+    };
+    println!(
+        "bench {name:<48} {:>14.1} ns/iter ({} iters)",
+        mean_ns, bench.iters_done
+    );
+}
+
+/// Collect bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_body() {
+        let mut c = Criterion {
+            sample_size: 3,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(2),
+        };
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_configuration_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        g.bench_function("x", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

@@ -1,0 +1,180 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build container has no crates.io access, so the workspace pins this
+//! path crate (see `[workspace.dependencies]` in the root manifest). It
+//! keeps the property-test *surface* the repo uses — `proptest!`,
+//! strategies (`any`, ranges, tuples, `Just`, `prop_oneof!`,
+//! `prop::collection::vec`, string patterns, `prop_map`) and the
+//! `prop_assert*`/`prop_assume!` macros — with a deliberately simpler
+//! engine: cases are generated from a deterministic per-test seed and
+//! **no shrinking** is performed. On failure the full input set is printed
+//! so a case can be reproduced by copying the values into a unit test.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop::` module alias (`prop::collection::vec(...)` etc.).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Define property tests. Each `#[test] fn name(arg in strategy, ...)`
+/// becomes a zero-argument test running `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ cfg = ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr); ) => {};
+    (cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut __ran: u32 = 0;
+            let mut __attempts: u32 = 0;
+            let __max_attempts = __config.cases.saturating_mul(10).max(64);
+            while __ran < __config.cases {
+                if __attempts >= __max_attempts {
+                    panic!(
+                        "proptest: too many rejected cases ({} attempts for {} cases)",
+                        __attempts, __config.cases
+                    );
+                }
+                __attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            Ok(())
+                        },
+                    ),
+                );
+                match __outcome {
+                    Ok(Ok(())) => __ran += 1,
+                    Ok(Err($crate::test_runner::TestCaseError::Reject)) => {}
+                    Ok(Err($crate::test_runner::TestCaseError::Fail(msg))) => {
+                        panic!(
+                            "proptest case failed: {}\n  inputs: {}",
+                            msg, __inputs
+                        );
+                    }
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest case panicked (case {} of {})\n  inputs: {}",
+                            __ran + 1,
+                            __config.cases,
+                            __inputs
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns!{ cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Assert inside a property body (reported with the generated inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), a, b
+        );
+    }};
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+}
+
+/// Discard the current case (does not count toward `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Choose uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                let __s = $strat;
+                ::std::boxed::Box::new(move |__rng: &mut $crate::test_runner::TestRng| {
+                    $crate::strategy::Strategy::sample(&__s, __rng)
+                }) as ::std::boxed::Box<
+                    dyn Fn(&mut $crate::test_runner::TestRng) -> _ + Send + Sync,
+                >
+            }),+
+        ])
+    };
+}

@@ -1,0 +1,58 @@
+//! Configuration, RNG, and case outcomes for the mini proptest engine.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-suite configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+    /// Kept for source compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Outcome of one generated case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: discard, do not count.
+    Reject,
+    /// `prop_assert*!` failed.
+    Fail(String),
+}
+
+/// Deterministic RNG used for case generation, seeded from the test path
+/// so every run (and every machine) generates the same cases.
+pub struct TestRng {
+    pub(crate) inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for the named test (FNV-1a of the full test path as seed).
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// RNG from an explicit seed (for driving strategies outside `proptest!`).
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+}

@@ -18,7 +18,7 @@ fn file_payload(len: usize, tag: u64) -> Vec<u8> {
 }
 
 /// End-to-end RETR + STOR + LIST over a given transport pair.
-fn exercise_ftp(sim: Simulation, m0: simos::Machine, m1: simos::Machine, transports: FtpTransports) {
+fn exercise_ftp(mut sim: Simulation, m0: simos::Machine, m1: simos::Machine, transports: FtpTransports) {
     let (client_proc, server_proc) = common::procs(&m0, &m1);
     let remote = file_payload(200_000, 5);
     m1.fs().add_file("pub/data.bin", remote.clone());
@@ -78,7 +78,7 @@ fn ftp_over_sovia() {
 fn ftp_inetd_hybrid_control_tcp_data_sovia() {
     // Section 4.3's partial solution: TCP control (inetd-compatible),
     // SOVIA data connections.
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let done = Arc::new(Mutex::new(false));
     let done2 = Arc::clone(&done);
     common::clan_dual_stack(&sim, SoviaConfig::combine(), move |ctx, m0, m1| {
@@ -124,7 +124,7 @@ fn ftp_inetd_hybrid_control_tcp_data_sovia() {
 /// port of the FTP server may not work"); with shared segments it is
 /// correct. Returns true iff the session completed with intact data.
 fn ftp_after_fork(use_shared_segments: bool) -> bool {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let config = SoviaConfig {
         use_shared_segments,
         ..SoviaConfig::dacks()

@@ -20,7 +20,7 @@ use sovia::SoviaConfig;
 /// connection.
 #[test]
 fn inetd_forks_ftpd_with_sovia_data_path() {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let ok = Arc::new(Mutex::new(false));
     let ok2 = Arc::clone(&ok);
     common::clan_dual_stack(&sim, SoviaConfig::default(), move |ctx, m0, m1| {
@@ -58,7 +58,7 @@ fn inetd_forks_ftpd_with_sovia_data_path() {
 /// inetd can host several services on different ports concurrently.
 #[test]
 fn inetd_multiplexes_services() {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let echoed = Arc::new(Mutex::new(Vec::new()));
     let echoed2 = Arc::clone(&echoed);
     common::clan_dual_stack(&sim, SoviaConfig::default(), move |ctx, m0, m1| {
@@ -109,7 +109,7 @@ fn inetd_multiplexes_services() {
 /// cleanly.
 #[test]
 fn pfs_striped_roundtrip_over_sovia() {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let h = sim.handle();
     let machines = common::sovia_cluster(&h, 4, SoviaConfig::default());
     let servers = [HostId(1), HostId(2), HostId(3)];
@@ -162,7 +162,7 @@ fn pfs_striped_roundtrip_over_sovia() {
 /// The same file store runs unchanged over kernel TCP (2 hosts).
 #[test]
 fn pfs_runs_over_tcp_too() {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let (m0, m1) = common::tcp_ethernet_pair(&sim.handle());
     spawn_pfs_server(
         &sim.handle(),

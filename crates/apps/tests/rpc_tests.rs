@@ -14,7 +14,7 @@ use sovia::SoviaConfig;
 
 #[test]
 fn rpc_over_tcp_ethernet() {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let (m0, m1) = common::tcp_ethernet_pair(&sim.handle());
     let (cp, sp) = common::procs(&m0, &m1);
     spawn_echo_server(&sim.handle(), sp, HostId(1), Transport::Tcp, Some(1));
@@ -35,7 +35,7 @@ fn rpc_over_tcp_ethernet() {
 fn rpc_over_sovia_selecting_via_transport() {
     // The paper: the client "simply selects SOVIA as a base transport by
     // specifying 'via' when it calls clnt_create()".
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let (m0, m1) = common::sovia_pair(&sim.handle(), SoviaConfig::combine());
     let (cp, sp) = common::procs(&m0, &m1);
     spawn_echo_server(&sim.handle(), sp, HostId(1), Transport::Via, Some(1));
@@ -57,7 +57,7 @@ fn rpc_latency_sovia_beats_tcp() {
     // than over kernel TCP on the same hardware.
     fn null_rpc_us(transport: Transport) -> f64 {
         const CALLS: u32 = 30;
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let elapsed = Arc::new(Mutex::new(0f64));
         let e2 = Arc::clone(&elapsed);
         let (m0, m1) = match transport {
@@ -95,7 +95,7 @@ fn rpc_latency_sovia_beats_tcp() {
 
 #[test]
 fn rpc_error_statuses() {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let (m0, m1) = common::tcp_ethernet_pair(&sim.handle());
     let (cp, sp) = common::procs(&m0, &m1);
     spawn_echo_server(&sim.handle(), sp, HostId(1), Transport::Tcp, Some(2));

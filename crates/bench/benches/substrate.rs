@@ -8,9 +8,37 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 use dsim::sync::SimQueue;
-use dsim::{SimDuration, Simulation};
+use dsim::{Payload, SchedConfig, SimDuration, Simulation};
 use simos::mem::PAGE_SIZE;
 use simos::{HostCosts, HostId, Machine};
+
+/// The two-process token ping-pong under an explicit scheduler config —
+/// the A/B pair for the direct-handoff fast path.
+fn run_pingpong(sched: SchedConfig, rounds: u32) -> dsim::SimTime {
+    let mut sim = Simulation::with_config(sched);
+    let h = sim.handle();
+    let q1 = SimQueue::<u32>::new(&h);
+    let q2 = SimQueue::<u32>::new(&h);
+    {
+        let (q1, q2) = (Arc::clone(&q1), Arc::clone(&q2));
+        sim.spawn("a", move |ctx| {
+            for i in 0..rounds {
+                q1.push(i);
+                let _ = q2.pop(ctx);
+            }
+        });
+    }
+    {
+        let (q1, q2) = (Arc::clone(&q1), Arc::clone(&q2));
+        sim.spawn("b", move |ctx| {
+            for _ in 0..rounds {
+                let v = q1.pop(ctx);
+                q2.push(v);
+            }
+        });
+    }
+    sim.run().unwrap()
+}
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("dsim");
@@ -20,7 +48,7 @@ fn bench_event_queue(c: &mut Criterion) {
     // Pure callback events: scheduler heap throughput.
     g.bench_function("schedule_10k_callbacks", |b| {
         b.iter(|| {
-            let sim = Simulation::new();
+            let mut sim = Simulation::new();
             let h = sim.handle();
             for i in 0..10_000u64 {
                 h.schedule_in(SimDuration::from_nanos(i), |_| {});
@@ -31,7 +59,7 @@ fn bench_event_queue(c: &mut Criterion) {
     // Token handoff: two processes ping-ponging through a queue.
     g.bench_function("process_handoff_2k", |b| {
         b.iter(|| {
-            let sim = Simulation::new();
+            let mut sim = Simulation::new();
             let h = sim.handle();
             let q1 = SimQueue::<u32>::new(&h);
             let q2 = SimQueue::<u32>::new(&h);
@@ -56,6 +84,51 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(sim.run().unwrap())
         })
     });
+    // The same handoff workload A/B: coordinator dispatch vs direct
+    // token handoff (what perf_report tracks as the baseline).
+    g.bench_function("handoff_2k_fast_path_off", |b| {
+        b.iter(|| black_box(run_pingpong(SchedConfig { direct_handoff: false }, 1000)))
+    });
+    g.bench_function("handoff_2k_fast_path_on", |b| {
+        b.iter(|| black_box(run_pingpong(SchedConfig { direct_handoff: true }, 1000)))
+    });
+    g.finish();
+}
+
+fn bench_payload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("payload");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    // Carving a 64 KiB send into MTU-sized frames: zero-copy windows vs
+    // the Vec clones the stack used to make at every layer boundary.
+    const SEG: usize = 1460;
+    g.bench_function("segment_64k_zero_copy", |b| {
+        let buf = Payload::new(vec![0xA5u8; 64 * 1024]);
+        b.iter(|| {
+            let mut frames = Vec::with_capacity(buf.len() / SEG + 1);
+            let mut off = 0;
+            while off < buf.len() {
+                let end = (off + SEG).min(buf.len());
+                frames.push(buf.slice(off..end));
+                off = end;
+            }
+            black_box(frames)
+        })
+    });
+    g.bench_function("segment_64k_vec_clones", |b| {
+        let buf = vec![0xA5u8; 64 * 1024];
+        b.iter(|| {
+            let mut frames = Vec::with_capacity(buf.len() / SEG + 1);
+            let mut off = 0;
+            while off < buf.len() {
+                let end = (off + SEG).min(buf.len());
+                frames.push(buf[off..end].to_vec());
+                off = end;
+            }
+            black_box(frames)
+        })
+    });
     g.finish();
 }
 
@@ -66,7 +139,7 @@ fn bench_simulated_memory(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(3));
     g.bench_function("cow_fork_and_write_64_pages", |b| {
         b.iter(|| {
-            let sim = Simulation::new();
+            let mut sim = Simulation::new();
             let m = Machine::new(&sim.handle(), HostId(0), "m", HostCosts::free());
             let p = m.spawn_process("p");
             sim.spawn("main", move |ctx| {
@@ -82,7 +155,7 @@ fn bench_simulated_memory(c: &mut Criterion) {
     });
     g.bench_function("pin_dma_roundtrip_1MB", |b| {
         b.iter(|| {
-            let sim = Simulation::new();
+            let mut sim = Simulation::new();
             let m = Machine::new(&sim.handle(), HostId(0), "m", HostCosts::free());
             let p = m.spawn_process("p");
             sim.spawn("main", move |ctx| {
@@ -101,5 +174,5 @@ fn bench_simulated_memory(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_simulated_memory);
+criterion_group!(benches, bench_event_queue, bench_payload, bench_simulated_memory);
 criterion_main!(benches);

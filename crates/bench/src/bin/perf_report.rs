@@ -1,0 +1,229 @@
+//! Host-performance report for the simulation substrate.
+//!
+//! Runs two fixed workloads A/B — direct token handoff off vs on — and
+//! writes `BENCH_substrate.json` with wall-clock time, event throughput,
+//! and the dispatch-path breakdown ([`dsim::SchedStats`]). Virtual-time
+//! results are asserted identical between the two configurations; only
+//! host execution differs.
+//!
+//!   cargo run -p bench --release --bin perf_report [-- --out PATH]
+//!
+//! `scripts/bench.sh` wraps this and compares against the committed
+//! baseline.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dsim::sync::SimQueue;
+use dsim::{SchedConfig, SchedStats, Simulation};
+use sovia::SoviaConfig;
+
+/// Ping-pong rounds for the handoff microbenchmark.
+const PINGPONG_ROUNDS: u32 = 20_000;
+/// Message size / total bytes for the Figure 6(b)-style stream workload.
+const STREAM_MSG: usize = 32 * 1024;
+const STREAM_TOTAL: usize = 32 * 1024 * 1024;
+/// Timed repetitions per measurement (minimum taken).
+const REPS: usize = 3;
+
+/// One measured side of an A/B pair.
+#[derive(Clone, Copy)]
+struct Measured {
+    wall_ms: f64,
+    stats: SchedStats,
+    /// Scenario-specific virtual-time result, used to assert that the
+    /// fast path changes nothing simulated.
+    result: f64,
+}
+
+impl Measured {
+    fn events_per_sec(&self) -> f64 {
+        self.stats.events_processed as f64 / (self.wall_ms / 1e3)
+    }
+
+    fn json(&self, indent: &str, extra: &[(&str, f64)]) -> String {
+        let s = &self.stats;
+        let mut out = String::from("{\n");
+        let mut push = |k: &str, v: String| {
+            out.push_str(&format!("{indent}  \"{k}\": {v},\n"));
+        };
+        push("wall_ms", format!("{:.3}", self.wall_ms));
+        push("events_processed", s.events_processed.to_string());
+        push("events_per_sec", format!("{:.0}", self.events_per_sec()));
+        push("direct_handoffs", s.direct_handoffs.to_string());
+        push("self_wakes", s.self_wakes.to_string());
+        push("coordinator_roundtrips", s.coordinator_wakes.to_string());
+        for (k, v) in extra {
+            push(k, format!("{v:.3}"));
+        }
+        // Trim the trailing comma.
+        out.truncate(out.len() - 2);
+        out.push('\n');
+        out.push_str(indent);
+        out.push('}');
+        out
+    }
+}
+
+/// Run `workload` under `sched`, `REPS` times, keeping the fastest run.
+fn measure(sched: SchedConfig, workload: impl Fn(SchedConfig) -> (f64, SchedStats)) -> Measured {
+    let mut best: Option<Measured> = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let (result, stats) = workload(sched);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let m = Measured {
+            wall_ms,
+            stats,
+            result,
+        };
+        if best.map_or(true, |b| m.wall_ms < b.wall_ms) {
+            best = Some(m);
+        }
+    }
+    best.unwrap()
+}
+
+/// Two processes ping-ponging a token through a pair of [`SimQueue`]s:
+/// the worst case for coordinator round-trips, the best case for direct
+/// handoff. Returns (final virtual time in µs, stats).
+fn pingpong(sched: SchedConfig) -> (f64, SchedStats) {
+    let mut sim = Simulation::with_config(sched);
+    let h = sim.handle();
+    let q1 = SimQueue::<u32>::new(&h);
+    let q2 = SimQueue::<u32>::new(&h);
+    {
+        let (q1, q2) = (Arc::clone(&q1), Arc::clone(&q2));
+        sim.spawn("a", move |ctx| {
+            for i in 0..PINGPONG_ROUNDS {
+                q1.push(i);
+                let _ = q2.pop(ctx);
+            }
+        });
+    }
+    {
+        let (q1, q2) = (Arc::clone(&q1), Arc::clone(&q2));
+        sim.spawn("b", move |ctx| {
+            for _ in 0..PINGPONG_ROUNDS {
+                let v = q1.pop(ctx);
+                q2.push(v);
+            }
+        });
+    }
+    let end = sim.run().expect("pingpong failed");
+    (end.as_micros_f64(), sim.sched_stats())
+}
+
+/// The Figure 6(b) SOVIA stream (COMBINE config): a realistic workload
+/// with NIC service threads, doorbells, and packet payloads in flight.
+/// Returns (bandwidth in Mb/s, stats).
+fn sovia_stream(sched: SchedConfig) -> (f64, SchedStats) {
+    bench::micro::socket_bandwidth_with_sched(
+        Some(SoviaConfig::combine()),
+        STREAM_MSG,
+        STREAM_TOTAL,
+        sched,
+    )
+}
+
+fn scenario(
+    name: &str,
+    extra_fn: impl Fn(&Measured) -> Vec<(&'static str, f64)>,
+    workload: impl Fn(SchedConfig) -> (f64, SchedStats),
+) -> (String, Measured, Measured) {
+    let off = measure(SchedConfig { direct_handoff: false }, &workload);
+    let on = measure(SchedConfig { direct_handoff: true }, &workload);
+    assert_eq!(
+        off.result, on.result,
+        "{name}: fast path changed a virtual-time result"
+    );
+    assert_eq!(
+        off.stats.events_processed, on.stats.events_processed,
+        "{name}: fast path changed the event count"
+    );
+    let roundtrip_ratio = off.stats.coordinator_wakes as f64
+        / (on.stats.coordinator_wakes.max(1)) as f64;
+    let wall_delta_pct = (off.wall_ms - on.wall_ms) / off.wall_ms * 100.0;
+    let mut json = format!("    {{\n      \"name\": \"{name}\",\n");
+    json.push_str(&format!(
+        "      \"fast_path_off\": {},\n",
+        off.json("      ", &extra_fn(&off))
+    ));
+    json.push_str(&format!(
+        "      \"fast_path_on\": {},\n",
+        on.json("      ", &extra_fn(&on))
+    ));
+    json.push_str(&format!(
+        "      \"coordinator_roundtrip_reduction_x\": {roundtrip_ratio:.2},\n"
+    ));
+    json.push_str(&format!(
+        "      \"wall_clock_reduction_pct\": {wall_delta_pct:.1}\n    }}"
+    ));
+    eprintln!(
+        "{name}: wall {:.1} ms -> {:.1} ms ({wall_delta_pct:+.1}%), \
+         coordinator round-trips {} -> {} ({roundtrip_ratio:.1}x fewer)",
+        off.wall_ms, on.wall_ms, off.stats.coordinator_wakes, on.stats.coordinator_wakes,
+    );
+    (json, off, on)
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_substrate.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("error: --out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument {other:?} (supported: --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let handoffs = f64::from(PINGPONG_ROUNDS) * 2.0;
+    let (pp_json, pp_off, pp_on) = scenario(
+        "handoff_pingpong",
+        |m| vec![("ns_per_handoff", m.wall_ms * 1e6 / handoffs)],
+        pingpong,
+    );
+    let (st_json, st_off, st_on) = scenario(
+        "sovia_stream_fig6b",
+        |m| {
+            vec![
+                ("sim_bandwidth_mbps", m.result),
+                (
+                    "sim_bytes_per_wall_sec",
+                    STREAM_TOTAL as f64 / (m.wall_ms / 1e3),
+                ),
+            ]
+        },
+        sovia_stream,
+    );
+
+    // Acceptance summary: best coordinator round-trip reduction and best
+    // wall-clock reduction across scenarios.
+    let best_rt = [(&pp_off, &pp_on), (&st_off, &st_on)]
+        .iter()
+        .map(|(o, n)| o.stats.coordinator_wakes as f64 / n.stats.coordinator_wakes.max(1) as f64)
+        .fold(0.0f64, f64::max);
+    let best_wall = [(&pp_off, &pp_on), (&st_off, &st_on)]
+        .iter()
+        .map(|(o, n)| (o.wall_ms - n.wall_ms) / o.wall_ms * 100.0)
+        .fold(f64::NEG_INFINITY, f64::max);
+
+    let json = format!(
+        "{{\n  \"pingpong_rounds\": {PINGPONG_ROUNDS},\n  \"stream_msg_bytes\": {STREAM_MSG},\n  \
+         \"stream_total_bytes\": {STREAM_TOTAL},\n  \"reps\": {REPS},\n  \"scenarios\": [\n{pp_json},\n{st_json}\n  ],\n  \
+         \"best_coordinator_roundtrip_reduction_x\": {best_rt:.2},\n  \
+         \"best_wall_clock_reduction_pct\": {best_wall:.1}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

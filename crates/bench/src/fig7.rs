@@ -47,7 +47,7 @@ impl RpcPlatform {
 /// Mean elapsed µs for a single RPC with an `arg_len`-byte string
 /// argument (0 = void).
 pub fn rpc_elapsed_us(platform: RpcPlatform, arg_len: usize) -> f64 {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let out = Arc::new(Mutex::new(0f64));
     let transport = match platform {
         RpcPlatform::SoviaClan => Transport::Via,

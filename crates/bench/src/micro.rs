@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use dsim::{SimDuration, Simulation};
+use dsim::{SchedConfig, SchedStats, SimDuration, Simulation};
 use parking_lot::Mutex;
 use simos::HostId;
 use sockets::{api, SockAddr, SockOption, SockType};
@@ -84,8 +84,20 @@ pub fn bandwidth_mbps(variant: &Variant, size: usize, total: usize) -> f64 {
 
 /// `config: None` = TCP over LANE; `Some` = SOVIA with that config.
 fn socket_latency_us(config: Option<SoviaConfig>, size: usize, rounds: u32) -> f64 {
+    socket_latency_with_sched(config, size, rounds, SchedConfig::default()).0
+}
+
+/// The Figure 6(a) ping-pong workload under an explicit scheduler
+/// configuration. Returns `(µs, scheduler stats)`; the determinism tests
+/// use the stats to assert identical event counts run to run.
+pub fn socket_latency_with_sched(
+    config: Option<SoviaConfig>,
+    size: usize,
+    rounds: u32,
+    sched: SchedConfig,
+) -> (f64, SchedStats) {
     let out = Arc::new(Mutex::new(0f64));
-    let sim = Simulation::new();
+    let mut sim = Simulation::with_config(sched);
     let stype = if config.is_some() {
         SockType::Via
     } else {
@@ -152,12 +164,24 @@ fn socket_latency_us(config: Option<SoviaConfig>, size: usize, rounds: u32) -> f
     }
     sim.run().expect("latency simulation failed");
     let v = *out.lock();
-    v
+    (v, sim.sched_stats())
 }
 
 fn socket_bandwidth_mbps(config: Option<SoviaConfig>, size: usize, total: usize) -> f64 {
+    socket_bandwidth_with_sched(config, size, total, SchedConfig::default()).0
+}
+
+/// The Figure 6(b) stream workload under an explicit scheduler
+/// configuration. Returns `(Mb/s, scheduler stats)`; the perf_report
+/// binary uses this for fast-path A/B measurement.
+pub fn socket_bandwidth_with_sched(
+    config: Option<SoviaConfig>,
+    size: usize,
+    total: usize,
+    sched: SchedConfig,
+) -> (f64, SchedStats) {
     let out = Arc::new(Mutex::new(0f64));
-    let sim = Simulation::new();
+    let mut sim = Simulation::with_config(sched);
     let stype = if config.is_some() {
         SockType::Via
     } else {
@@ -238,13 +262,13 @@ fn socket_bandwidth_mbps(config: Option<SoviaConfig>, size: usize, total: usize)
     }
     sim.run().expect("bandwidth simulation failed");
     let v = *out.lock();
-    v
+    (v, sim.sched_stats())
 }
 
 // ----- native VIA (raw VIPL) --------------------------------------------------
 
 fn native_via_latency_us(size: usize, rounds: u32) -> f64 {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let (m0, m1) = testbed::clan_pair(&sim.handle());
     let n0 = ViaNic::of(&m0);
     let n1 = ViaNic::of(&m1);
@@ -311,7 +335,7 @@ fn native_via_latency_us(size: usize, rounds: u32) -> f64 {
 }
 
 fn native_via_bandwidth_mbps(size: usize, total: usize) -> f64 {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let (m0, m1) = testbed::clan_pair(&sim.handle());
     let n0 = ViaNic::of(&m0);
     let n1 = ViaNic::of(&m1);

@@ -74,7 +74,7 @@ fn file_body(len: u64) -> Vec<u8> {
 /// Run one FTP transfer and report what the client reports.
 pub fn ftp_transfer(platform: Platform, file_len: u64) -> Cell {
     assert_ne!(platform, Platform::LocalCopy);
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let out = Arc::new(Mutex::new(Cell {
         mbps: 0.0,
         secs: 0.0,
@@ -132,7 +132,7 @@ pub fn ftp_transfer(platform: Platform, file_len: u64) -> Cell {
 
 /// The local ramdisk-to-ramdisk copy row (`cp src dst` on one host).
 pub fn local_copy(file_len: u64) -> Cell {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let (m0, _m1) = testbed::clan_pair(&sim.handle());
     m0.fs().add_file("src.bin", file_body(file_len));
     let out = Arc::new(Mutex::new(Cell {

@@ -1,0 +1,82 @@
+//! Determinism regression tests: every paper experiment must be
+//! bit-identical run to run, and bit-identical across the scheduler's
+//! direct-handoff A/B (the fast path changes *how* events are dispatched,
+//! never *what* they compute).
+
+use bench::micro;
+use dsim::SchedConfig;
+use sovia::SoviaConfig;
+
+const OFF: SchedConfig = SchedConfig {
+    direct_handoff: false,
+};
+const ON: SchedConfig = SchedConfig {
+    direct_handoff: true,
+};
+
+#[test]
+fn fig6a_pingpong_repeats_bit_identical() {
+    let run = || {
+        micro::socket_latency_with_sched(Some(SoviaConfig::single()), 64, 10, ON)
+    };
+    let (lat_a, stats_a) = run();
+    let (lat_b, stats_b) = run();
+    assert!(lat_a > 0.0);
+    assert_eq!(lat_a.to_bits(), lat_b.to_bits(), "latency drifted between runs");
+    assert_eq!(stats_a, stats_b, "dispatch counters drifted between runs");
+}
+
+#[test]
+fn fig6a_pingpong_identical_across_fast_path_ab() {
+    let run = |sched| micro::socket_latency_with_sched(Some(SoviaConfig::single()), 64, 10, sched);
+    let (lat_off, stats_off) = run(OFF);
+    let (lat_on, stats_on) = run(ON);
+    assert_eq!(
+        lat_off.to_bits(),
+        lat_on.to_bits(),
+        "fast path changed a virtual-time result"
+    );
+    assert_eq!(
+        stats_off.events_processed, stats_on.events_processed,
+        "fast path changed the event count"
+    );
+    // The breakdown *should* differ: that is the whole point of the A/B.
+    assert_eq!(stats_off.direct_handoffs + stats_off.self_wakes, 0);
+    assert!(stats_on.direct_handoffs + stats_on.self_wakes > 0);
+}
+
+#[test]
+fn fig6b_stream_identical_across_fast_path_ab() {
+    let run = |sched| {
+        micro::socket_bandwidth_with_sched(
+            Some(SoviaConfig::combine()),
+            4096,
+            256 * 1024,
+            sched,
+        )
+    };
+    let (bw_off, stats_off) = run(OFF);
+    let (bw_on, stats_on) = run(ON);
+    assert!(bw_off > 0.0);
+    assert_eq!(
+        bw_off.to_bits(),
+        bw_on.to_bits(),
+        "fast path changed the measured bandwidth"
+    );
+    assert_eq!(stats_off.events_processed, stats_on.events_processed);
+    // Repeatability under the same config, counters included.
+    let (bw2, stats2) = run(ON);
+    assert_eq!(bw_on.to_bits(), bw2.to_bits());
+    assert_eq!(stats_on, stats2);
+}
+
+#[test]
+fn tcp_lane_stream_identical_across_fast_path_ab() {
+    // The TCP-over-LANE variant exercises a different machine topology
+    // (kernel stack + timer daemons); cover it too.
+    let run = |sched| micro::socket_bandwidth_with_sched(None, 4096, 128 * 1024, sched);
+    let (bw_off, stats_off) = run(OFF);
+    let (bw_on, stats_on) = run(ON);
+    assert_eq!(bw_off.to_bits(), bw_on.to_bits());
+    assert_eq!(stats_off.events_processed, stats_on.events_processed);
+}

@@ -125,7 +125,7 @@ mod tests {
     use simos::{HostCosts, HostId, Machine};
 
     fn with_pool(f: impl FnOnce(&dsim::SimCtx, Arc<SlotPool>) + Send + 'static) {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let m = Machine::new(&sim.handle(), HostId(0), "m", HostCosts::free());
         let p = m.spawn_process("p");
         sim.spawn("main", move |ctx| {

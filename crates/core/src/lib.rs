@@ -98,7 +98,7 @@ mod tests {
 
     #[test]
     fn connect_send_recv_close() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let (_m0, _m1, p0, p1) = testbed(&sim.handle(), SoviaConfig::dacks());
         run_echo_server(&sim, p1, 1);
         sim.spawn("client", move |ctx| {
@@ -117,7 +117,7 @@ mod tests {
     fn close_handshake_finalizes_conns_via_close_thread() {
         // After both applications close, the FIN/FINACK drainage must
         // complete on the close thread (no app thread ever re-enters).
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let (_m0, _m1, p0, p1) = testbed(&sim.handle(), SoviaConfig::dacks());
         run_echo_server(&sim, p1.clone(), 1);
         let p0_probe = p0.clone();
@@ -148,7 +148,7 @@ mod tests {
         // Byte-exact delivery across the copy/zero-copy threshold and
         // chunking boundaries.
         let sizes = [1usize, 7, 100, 2047, 2048, 2049, 8192, 32 * 1024, 100_000];
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let (_m0, _m1, p0, p1) = testbed(&sim.handle(), SoviaConfig::dacks());
         let total: usize = sizes.iter().sum();
         {
@@ -186,7 +186,7 @@ mod tests {
     fn no_drops_under_windowed_stream() {
         // The credit scheme must satisfy the pre-posting constraint: zero
         // NIC drops even when the sender runs far ahead of the receiver.
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let (m0, m1, p0, p1) = testbed(&sim.handle(), SoviaConfig::dacks());
         const MSGS: usize = 200;
         const SIZE: usize = 1500;
@@ -232,7 +232,7 @@ mod tests {
         // latency ordering of Figure 6(a): HANDLER > SINGLE.
         fn pingpong_rtt(config: SoviaConfig) -> u64 {
             const ROUNDS: u32 = 50;
-            let sim = Simulation::new();
+            let mut sim = Simulation::new();
             let (_m0, _m1, p0, p1) = testbed(&sim.handle(), config);
             run_echo_server(&sim, p1, ROUNDS as usize);
             let rtt = Arc::new(Mutex::new(0u64));
@@ -269,7 +269,7 @@ mod tests {
 
     #[test]
     fn combining_batches_small_messages() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let (_m0, _m1, p0, p1) = testbed(&sim.handle(), SoviaConfig::combine());
         let server_stats = Arc::new(Mutex::new(None));
         {
@@ -315,7 +315,7 @@ mod tests {
 
     #[test]
     fn nodelay_disables_combining() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let (_m0, _m1, p0, p1) = testbed(&sim.handle(), SoviaConfig::combine());
         let got_packets = Arc::new(Mutex::new(0u64));
         {
@@ -355,7 +355,7 @@ mod tests {
 
     #[test]
     fn connect_refused_without_listener() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let (_m0, _m1, p0, _p1) = testbed(&sim.handle(), SoviaConfig::dacks());
         sim.spawn("client", move |ctx| {
             let s = api::socket(ctx, &p0, SockType::Via).unwrap();
@@ -372,7 +372,7 @@ mod tests {
         // visibly higher latency than the two-way handshake.
         fn pingpong_rtt(config: SoviaConfig) -> u64 {
             const ROUNDS: u32 = 30;
-            let sim = Simulation::new();
+            let mut sim = Simulation::new();
             let (_m0, _m1, p0, p1) = testbed(&sim.handle(), config);
             run_echo_server(&sim, p1, ROUNDS as usize);
             let rtt = Arc::new(Mutex::new(0u64));
@@ -405,7 +405,7 @@ mod tests {
     #[test]
     fn stop_and_wait_still_correct() {
         // SOVIA_SINGLE (w=1) delivers the same bytes, just slower.
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let (_m0, _m1, p0, p1) = testbed(&sim.handle(), SoviaConfig::single());
         {
             let p1 = p1.clone();

@@ -25,7 +25,7 @@
 //! use dsim::sync::SimQueue;
 //! use std::sync::Arc;
 //!
-//! let sim = Simulation::new();
+//! let mut sim = Simulation::new();
 //! let q = SimQueue::<u32>::new(&sim.handle());
 //!
 //! let q1 = Arc::clone(&q);
@@ -47,9 +47,14 @@
 mod sched;
 mod time;
 
+pub mod buf;
 pub mod rng;
 pub mod stats;
 pub mod sync;
 
-pub use sched::{ProcId, SimCtx, SimError, SimHandle, Simulation, TimerGuard, WakeReason};
+pub use buf::Payload;
+pub use sched::{
+    ProcId, SchedConfig, SchedStats, SimCtx, SimError, SimHandle, Simulation, TimerGuard,
+    WakeReason,
+};
 pub use time::{SimDuration, SimTime};

@@ -22,6 +22,22 @@
 //! Blocking primitives therefore follow the usual condition-variable rule:
 //! *mutate shared state first, then wake; waiters re-check predicates in a
 //! loop*.
+//!
+//! # Direct token handoff (fast path)
+//!
+//! Dispatching every event through the coordinator costs two OS thread
+//! switches per wake (yielder → coordinator → wakee). When a process parks
+//! and the next heap event is a `Wake`, the parking process dispatches it
+//! *itself* under the state lock — advancing the clock, dropping stale
+//! wakes, and charging the shared event budget exactly as the coordinator
+//! would — then raises the target's resume signal directly (one switch), or
+//! returns immediately if it woke itself (zero switches, the common case
+//! for an uncontended `sleep`). The coordinator is only re-entered for
+//! `Call` events, an empty heap (completion/deadlock detection), a spent
+//! event budget, a recorded panic, or teardown, so all of those behave
+//! identically with the fast path on or off. Dispatch order is the exact
+//! `(time, seq)` heap order either way; virtual-time results are
+//! bit-identical. Toggle via [`SchedConfig`] for A/B measurement.
 
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
@@ -81,6 +97,9 @@ pub enum SimError {
     EventLimit {
         /// Virtual time when the budget ran out.
         at: SimTime,
+        /// Events fully processed before the budget ran out (callers use
+        /// this to tune the budget).
+        processed: u64,
     },
 }
 
@@ -93,8 +112,8 @@ impl fmt::Display for SimError {
             SimError::ProcessPanicked { name, message } => {
                 write!(f, "simulation process `{name}` panicked: {message}")
             }
-            SimError::EventLimit { at } => {
-                write!(f, "event limit exhausted at {at}")
+            SimError::EventLimit { at, processed } => {
+                write!(f, "event limit exhausted at {at} after {processed} events")
             }
         }
     }
@@ -191,6 +210,51 @@ impl Signal {
     }
 }
 
+/// Scheduler tuning knobs (see the module docs on the fast path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// Hand the execution token directly between processes when the next
+    /// event permits, bypassing the coordinator thread. Never changes
+    /// virtual-time results; kept toggleable for A/B benchmarking.
+    pub direct_handoff: bool,
+}
+
+impl SchedConfig {
+    /// Default configuration, honouring the `DSIM_DIRECT_HANDOFF`
+    /// environment variable (`0`/`off`/`false` disables the fast path) so
+    /// A/B runs need no code changes.
+    fn from_env() -> SchedConfig {
+        let disabled = std::env::var("DSIM_DIRECT_HANDOFF")
+            .map(|v| matches!(v.as_str(), "0" | "off" | "false" | "no"))
+            .unwrap_or(false);
+        SchedConfig {
+            direct_handoff: !disabled,
+        }
+    }
+}
+
+impl Default for SchedConfig {
+    fn default() -> SchedConfig {
+        SchedConfig::from_env()
+    }
+}
+
+/// Counters describing how a simulation was executed (host-side only;
+/// nothing here feeds back into virtual time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Heap entries popped (wakes, calls, stale wakes) — identical for a
+    /// given program whichever dispatch path ran them.
+    pub events_processed: u64,
+    /// Wakes a parking process delivered directly to another process
+    /// (one OS switch instead of two).
+    pub direct_handoffs: u64,
+    /// Wakes a parking process delivered to *itself* (zero OS switches).
+    pub self_wakes: u64,
+    /// Wakes dispatched by the coordinator (two OS switches: the slow path).
+    pub coordinator_wakes: u64,
+}
+
 struct SchedState {
     now: u64,
     seq: u64,
@@ -203,12 +267,21 @@ struct SchedState {
     shutting_down: bool,
     /// Panic captured from a process, reported by `run`.
     panic: Option<(String, String)>,
+    /// Heap entries popped so far — shared between the coordinator and the
+    /// fast path so `run_with_limit` stops at the same event either way.
+    events: u64,
+    /// Event budget (`u64::MAX` when unlimited).
+    max_events: u64,
+    /// Execution counters (see [`SchedStats`]).
+    stats: SchedStats,
 }
 
 pub(crate) struct SimCore {
     state: Mutex<SchedState>,
     /// Raised by a process when it yields the token back to the coordinator.
     coord: Signal,
+    /// Immutable scheduler configuration.
+    config: SchedConfig,
 }
 
 impl SimCore {
@@ -475,6 +548,9 @@ impl SimCtx {
     pub(crate) fn park(&self) -> WakeReason {
         let core = &self.handle.core;
         let resume;
+        // When the fast path dispatched a wake to another process, its
+        // resume signal to raise after dropping the state lock.
+        let mut handoff: Option<Arc<Signal>> = None;
         {
             let mut st = core.state.lock();
             let slot = st
@@ -488,8 +564,32 @@ impl SimCtx {
             );
             slot.state = ProcState::Parked;
             resume = Arc::clone(&slot.resume);
+            if core.config.direct_handoff {
+                if let Some(target) = Self::dispatch_next_wake(&mut st) {
+                    if target == self.pid {
+                        // We consumed our own wake: skip the handshake
+                        // entirely (zero OS switches).
+                        st.stats.self_wakes += 1;
+                        let slot = st.procs.get_mut(&self.pid.0).expect("park: self slot");
+                        let reason = slot
+                            .wake_reason
+                            .take()
+                            .expect("self-wake without a reason");
+                        debug_assert_ne!(reason, WakeReason::Shutdown);
+                        return reason;
+                    }
+                    st.stats.direct_handoffs += 1;
+                    let slot = st.procs.get(&target.0).expect("handoff target slot");
+                    handoff = Some(Arc::clone(&slot.resume));
+                }
+            }
         }
-        core.coord.raise();
+        match handoff {
+            // Fast path: wake the next process directly (one OS switch).
+            Some(next) => next.raise(),
+            // Slow path: return the token to the coordinator.
+            None => core.coord.raise(),
+        }
         resume.await_and_clear();
         let mut st = core.state.lock();
         let slot = st
@@ -507,6 +607,46 @@ impl SimCtx {
         }
         reason
     }
+
+    /// Fast-path dispatcher: if the heap's next event is a deliverable
+    /// `Wake` within the event budget, pop it (advancing the clock and
+    /// charging the shared budget exactly like the coordinator), mark the
+    /// target Running, and return its pid. Stale wakes are popped, counted
+    /// and dropped along the way — the same sequence the coordinator would
+    /// execute. Returns `None` whenever the coordinator must take over:
+    /// `Call` events, empty heap, spent budget, recorded panic, teardown.
+    fn dispatch_next_wake(st: &mut SchedState) -> Option<ProcId> {
+        loop {
+            if st.panic.is_some() || st.shutting_down {
+                return None;
+            }
+            match st.heap.peek() {
+                Some(e) if matches!(e.kind, EventKind::Wake { .. }) => {}
+                _ => return None,
+            }
+            if st.events + 1 > st.max_events {
+                // Let the coordinator charge the over-budget event and
+                // report `EventLimit` — identical boundary either way.
+                return None;
+            }
+            let e = st.heap.pop().expect("peeked entry vanished");
+            st.events += 1;
+            st.now = e.time;
+            let EventKind::Wake { pid, epoch, reason } = e.kind else {
+                unreachable!("peek said Wake");
+            };
+            let Some(slot) = st.procs.get_mut(&pid.0) else {
+                continue;
+            };
+            if slot.state != ProcState::Parked || slot.epoch != epoch {
+                continue; // stale wake, dropped exactly like the slow path
+            }
+            slot.epoch += 1;
+            slot.state = ProcState::Running;
+            slot.wake_reason = Some(reason);
+            return Some(pid);
+        }
+    }
 }
 
 /// A whole simulation: owns the event queue, clock, and process threads.
@@ -522,8 +662,15 @@ impl Default for Simulation {
 }
 
 impl Simulation {
-    /// Create an empty simulation at t = 0.
+    /// Create an empty simulation at t = 0 with the default scheduler
+    /// configuration (fast path on unless `DSIM_DIRECT_HANDOFF=0`).
     pub fn new() -> Simulation {
+        Simulation::with_config(SchedConfig::default())
+    }
+
+    /// Create an empty simulation with an explicit scheduler configuration
+    /// (used for A/B benchmarking of the dispatch fast path).
+    pub fn with_config(config: SchedConfig) -> Simulation {
         let core = Arc::new(SimCore {
             state: Mutex::new(SchedState {
                 now: 0,
@@ -534,13 +681,37 @@ impl Simulation {
                 live: 0,
                 shutting_down: false,
                 panic: None,
+                events: 0,
+                max_events: u64::MAX,
+                stats: SchedStats::default(),
             }),
             coord: Signal::new_inline(),
+            config,
         });
         Simulation {
             handle: SimHandle { core },
             ran: false,
         }
+    }
+
+    /// Heap events processed so far (meaningful during and after `run`).
+    pub fn events_processed(&self) -> u64 {
+        self.handle.core.state.lock().events
+    }
+
+    /// Execution counters (dispatch-path breakdown). Virtual-time results
+    /// never depend on these; they exist for host-performance tracking.
+    pub fn sched_stats(&self) -> SchedStats {
+        let st = self.handle.core.state.lock();
+        SchedStats {
+            events_processed: st.events,
+            ..st.stats
+        }
+    }
+
+    /// The scheduler configuration this simulation runs with.
+    pub fn config(&self) -> SchedConfig {
+        self.handle.core.config
     }
 
     /// A cloneable handle for scheduling and primitive construction.
@@ -565,12 +736,16 @@ impl Simulation {
     }
 
     /// Run until all processes finish, returning the final virtual time.
-    pub fn run(mut self) -> Result<SimTime, SimError> {
+    ///
+    /// Takes `&mut self` so callers can query [`Simulation::events_processed`]
+    /// and [`Simulation::sched_stats`] afterwards; a simulation still runs
+    /// at most once.
+    pub fn run(&mut self) -> Result<SimTime, SimError> {
         self.run_inner(u64::MAX)
     }
 
     /// Run with an explicit event budget.
-    pub fn run_with_limit(mut self, max_events: u64) -> Result<SimTime, SimError> {
+    pub fn run_with_limit(&mut self, max_events: u64) -> Result<SimTime, SimError> {
         self.run_inner(max_events)
     }
 
@@ -578,7 +753,7 @@ impl Simulation {
         assert!(!self.ran, "Simulation::run called twice");
         self.ran = true;
         let core = Arc::clone(&self.handle.core);
-        let mut events = 0u64;
+        core.state.lock().max_events = max_events;
         let result = loop {
             let entry = {
                 let mut st = core.state.lock();
@@ -588,6 +763,16 @@ impl Simulation {
                 match st.heap.pop() {
                     Some(e) => {
                         st.now = e.time;
+                        // The budget counter is shared with the fast path;
+                        // both charge every popped entry, so the limit trips
+                        // at the same event whichever path is dispatching.
+                        st.events += 1;
+                        if st.events > st.max_events {
+                            break Err(SimError::EventLimit {
+                                at: SimTime(st.now),
+                                processed: st.events - 1,
+                            });
+                        }
                         e
                     }
                     None => {
@@ -607,11 +792,6 @@ impl Simulation {
                     }
                 }
             };
-            events += 1;
-            if events > max_events {
-                let now = SimTime(core.state.lock().now);
-                break Err(SimError::EventLimit { at: now });
-            }
             match entry.kind {
                 EventKind::Call { cancelled, f } => {
                     if !cancelled.load(Ordering::Relaxed) {
@@ -639,7 +819,9 @@ impl Simulation {
                         slot.epoch += 1;
                         slot.state = ProcState::Running;
                         slot.wake_reason = Some(reason);
-                        Arc::clone(&slot.resume)
+                        let resume = Arc::clone(&slot.resume);
+                        st.stats.coordinator_wakes += 1;
+                        resume
                     };
                     resume.raise();
                     core.coord.await_and_clear();
@@ -721,13 +903,13 @@ mod tests {
 
     #[test]
     fn empty_simulation_finishes_at_zero() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         assert_eq!(sim.run().unwrap(), SimTime::ZERO);
     }
 
     #[test]
     fn single_process_sleeps() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let t_end = Arc::new(AtomicU64::new(0));
         let t2 = Arc::clone(&t_end);
         sim.spawn("sleeper", move |ctx| {
@@ -742,7 +924,7 @@ mod tests {
 
     #[test]
     fn processes_interleave_deterministically() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let log = Arc::new(Mutex::new(Vec::new()));
         for (name, start, step) in [("a", 1u64, 3u64), ("b", 2, 3)] {
             let log = Arc::clone(&log);
@@ -771,7 +953,7 @@ mod tests {
 
     #[test]
     fn same_instant_events_fire_in_schedule_order() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let log = Arc::new(Mutex::new(Vec::new()));
         let h = sim.handle();
         for i in 0..5 {
@@ -786,7 +968,7 @@ mod tests {
 
     #[test]
     fn timer_cancellation() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let fired = Arc::new(AtomicU64::new(0));
         let f2 = Arc::clone(&fired);
         let h = sim.handle();
@@ -801,7 +983,7 @@ mod tests {
 
     #[test]
     fn nested_spawn() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let sum = Arc::new(AtomicU64::new(0));
         let s2 = Arc::clone(&sum);
         sim.spawn("parent", move |ctx| {
@@ -820,7 +1002,7 @@ mod tests {
 
     #[test]
     fn process_panic_is_reported() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         sim.spawn("bad", |_| panic!("boom"));
         match sim.run() {
             Err(SimError::ProcessPanicked { name, message }) => {
@@ -833,7 +1015,7 @@ mod tests {
 
     #[test]
     fn event_limit_guard() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         sim.spawn("spin", |ctx| loop {
             ctx.sleep(SimDuration::from_nanos(1));
         });
@@ -845,7 +1027,7 @@ mod tests {
 
     #[test]
     fn daemons_do_not_block_completion() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let served = Arc::new(AtomicU64::new(0));
         // A daemon that would loop forever.
         {
@@ -868,7 +1050,7 @@ mod tests {
 
     #[test]
     fn deadlock_reports_only_non_daemons() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         sim.spawn_daemon("idle-engine", |ctx| {
             let _ = ctx.park();
         });
@@ -885,7 +1067,7 @@ mod tests {
 
     #[test]
     fn yield_now_interleaves() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let log = Arc::new(Mutex::new(Vec::new()));
         for name in ["x", "y"] {
             let log = Arc::clone(&log);

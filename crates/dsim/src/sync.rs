@@ -292,7 +292,7 @@ mod tests {
 
     #[test]
     fn queue_ping_pong() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let q_ab = SimQueue::<u64>::new(&h);
         let q_ba = SimQueue::<u64>::new(&h);
@@ -324,7 +324,7 @@ mod tests {
 
     #[test]
     fn queue_wake_delay_models_thread_sync_cost() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let q = SimQueue::<()>::new(&h);
         let woke_at = Arc::new(AtomicU64::new(0));
@@ -350,7 +350,7 @@ mod tests {
 
     #[test]
     fn condvar_timeout_fires() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let cv = Arc::new(SimCondvar::new(&h));
         let cv2 = Arc::clone(&cv);
@@ -369,7 +369,7 @@ mod tests {
 
     #[test]
     fn condvar_notify_beats_timeout() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let cv = Arc::new(SimCondvar::new(&h));
         let outcome = Arc::new(Mutex::new(None));
@@ -396,7 +396,7 @@ mod tests {
 
     #[test]
     fn semaphore_limits_concurrency() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let sem = SimSemaphore::new(&h, 2);
         let in_flight = Arc::new(AtomicU64::new(0));
@@ -421,7 +421,7 @@ mod tests {
 
     #[test]
     fn flag_is_idempotent_and_latching() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let flag = SimFlag::new(&h);
         let done = Arc::new(AtomicU64::new(0));
@@ -448,7 +448,7 @@ mod tests {
 
     #[test]
     fn queue_pop_timeout() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let q = SimQueue::<u32>::new(&h);
         let got = Arc::new(Mutex::new(Vec::new()));

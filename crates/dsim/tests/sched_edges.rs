@@ -1,0 +1,159 @@
+//! Scheduler edge cases, each run under *both* dispatch configurations.
+//! The direct-handoff fast path must be behavior-identical to coordinator
+//! dispatch: same virtual times, same event counts, same errors.
+
+use std::sync::Arc;
+
+use dsim::sync::{SimCondvar, SimQueue, TimedWait};
+use dsim::{SchedConfig, SimDuration, SimError, Simulation};
+use parking_lot::Mutex;
+
+const CONFIGS: [SchedConfig; 2] = [
+    SchedConfig {
+        direct_handoff: false,
+    },
+    SchedConfig {
+        direct_handoff: true,
+    },
+];
+
+/// Run `scenario` under both configs and assert identical observable
+/// outcomes (whatever the scenario chooses to return) and identical
+/// event counts.
+fn identical_under_both<T: PartialEq + std::fmt::Debug>(
+    scenario: impl Fn(&mut Simulation) -> T,
+) -> T {
+    let mut results = Vec::new();
+    for config in CONFIGS {
+        let mut sim = Simulation::with_config(config);
+        let out = scenario(&mut sim);
+        results.push((out, sim.events_processed()));
+    }
+    let (slow, fast) = (results.remove(0), results.remove(0));
+    assert_eq!(slow, fast, "fast path diverged from coordinator dispatch");
+    slow.0
+}
+
+#[test]
+fn run_with_limit_exact_boundary() {
+    // 1 spawn (a Call event) + 10 sleeps (wake events) = 11 events. A
+    // budget of exactly 11 completes; a budget of 10 fails with
+    // `processed: 10` — on both dispatch paths.
+    let spawn_sleeper = |sim: &mut Simulation| {
+        sim.spawn("sleeper", |ctx| {
+            for _ in 0..10 {
+                ctx.sleep(SimDuration::from_micros(1));
+            }
+        });
+    };
+    let end = identical_under_both(|sim| {
+        spawn_sleeper(sim);
+        sim.run_with_limit(11).expect("exact budget must suffice")
+    });
+    assert_eq!(end.as_nanos(), 10_000);
+
+    let (at, processed) = identical_under_both(|sim| {
+        spawn_sleeper(sim);
+        match sim.run_with_limit(10) {
+            Err(SimError::EventLimit { at, processed }) => (at.as_nanos(), processed),
+            other => panic!("expected EventLimit, got {other:?}"),
+        }
+    });
+    assert_eq!(processed, 10);
+    // `at` is the virtual time of the event the budget refused to run.
+    assert_eq!(at, 10_000);
+}
+
+#[test]
+fn stale_timeout_wake_is_dropped() {
+    // A waiter parks with a 100 µs timeout; a notifier signals at 50 µs.
+    // The Notify wins, and the now-stale Timeout wake (still in the heap)
+    // must be dropped without re-waking the process — identically on both
+    // dispatch paths.
+    let outcome = identical_under_both(|sim| {
+        let h = sim.handle();
+        let cv = Arc::new(SimCondvar::new(&h));
+        let woke_at = Arc::new(Mutex::new(Vec::new()));
+        {
+            let cv = Arc::clone(&cv);
+            let woke_at = Arc::clone(&woke_at);
+            sim.spawn("waiter", move |ctx| {
+                let r = cv.wait_timeout(ctx, SimDuration::from_micros(100));
+                woke_at.lock().push((ctx.now().as_nanos(), r == TimedWait::Notified));
+                // Stay alive past the stale deadline; a dropped stale wake
+                // must not interrupt this sleep.
+                ctx.sleep(SimDuration::from_micros(200));
+                woke_at.lock().push((ctx.now().as_nanos(), true));
+            });
+        }
+        {
+            let cv = Arc::clone(&cv);
+            sim.spawn("notifier", move |ctx| {
+                ctx.sleep(SimDuration::from_micros(50));
+                cv.notify_one();
+            });
+        }
+        sim.run().unwrap();
+        let v = woke_at.lock().clone();
+        v
+    });
+    assert_eq!(outcome, vec![(50_000, true), (250_000, true)]);
+}
+
+#[test]
+fn daemon_only_deadlock_is_reported() {
+    // One non-daemon starves on a queue while a daemon idles on another:
+    // the deadlock report must name only the non-daemon, on both paths.
+    let parked = identical_under_both(|sim| {
+        let h = sim.handle();
+        let q = SimQueue::<u8>::new(&h);
+        let dq = SimQueue::<u8>::new(&h);
+        {
+            let dq = Arc::clone(&dq);
+            sim.spawn_daemon("idle-engine", move |ctx| {
+                let _ = dq.pop(ctx);
+            });
+        }
+        sim.spawn("starved", move |ctx| {
+            let _ = q.pop(ctx);
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { parked, .. }) => parked,
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    });
+    assert_eq!(parked, vec!["starved".to_string()]);
+}
+
+#[test]
+fn handoff_chain_matches_coordinator_dispatch() {
+    // A three-process token ring: every wake targets a *different*
+    // process (pure direct-handoff territory). Completion time and event
+    // count must match coordinator dispatch exactly.
+    let end = identical_under_both(|sim| {
+        let h = sim.handle();
+        let qs: Vec<_> = (0..3).map(|_| SimQueue::<u32>::new(&h)).collect();
+        for i in 0..3 {
+            let rx = Arc::clone(&qs[i]);
+            let tx = Arc::clone(&qs[(i + 1) % 3]);
+            sim.spawn(format!("ring{i}"), move |ctx| {
+                if i == 0 {
+                    tx.push(0);
+                }
+                loop {
+                    let v = rx.pop(ctx);
+                    if v >= 300 {
+                        if i != 0 {
+                            tx.push(v); // let the rest of the ring drain
+                        }
+                        break;
+                    }
+                    ctx.sleep(SimDuration::from_nanos(10));
+                    tx.push(v + 1);
+                }
+            });
+        }
+        sim.run().unwrap().as_nanos()
+    });
+    assert_eq!(end, 300 / 3 * 3 * 10);
+}

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use dsim::sync::SimQueue;
-use dsim::{SimDuration, SimHandle};
+use dsim::{Payload, SimDuration, SimHandle};
 use parking_lot::Mutex;
 use simos::HostId;
 
@@ -27,7 +27,8 @@ pub struct EthNicCosts {
     pub rx_frame: SimDuration,
 }
 
-/// An Ethernet frame. `payload` is a serialized IP packet.
+/// An Ethernet frame. `payload` is a serialized IP packet. Cloning the
+/// frame shares the payload bytes (see [`dsim::Payload`]).
 #[derive(Debug, Clone)]
 pub struct EthFrame {
     /// Sending host.
@@ -35,7 +36,7 @@ pub struct EthFrame {
     /// Destination host.
     pub dst: HostId,
     /// Serialized network-layer packet.
-    pub payload: Vec<u8>,
+    pub payload: Payload,
 }
 
 /// Ethernet framing overhead on the wire (header 14 + FCS 4 + preamble 8 +
@@ -131,7 +132,7 @@ mod tests {
 
     #[test]
     fn frame_roundtrip_with_costs() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let costs = EthNicCosts {
             tx_frame: SimDuration::from_micros(2),
@@ -148,7 +149,7 @@ mod tests {
             let got = Arc::clone(&got);
             let sim_h = h.clone();
             b.set_rx_handler(move |_ctx, f| {
-                got.lock().push((f.payload.clone(), sim_h.now().as_nanos()));
+                got.lock().push((f.payload.to_owned_vec(), sim_h.now().as_nanos()));
             });
         }
         EthPort::connect(&h, &a, &b);
@@ -156,7 +157,7 @@ mod tests {
             a.send(EthFrame {
                 src: HostId(0),
                 dst: HostId(1),
-                payload: vec![7u8; 100],
+                payload: vec![7u8; 100].into(),
             });
         });
         sim.run().unwrap();
@@ -170,7 +171,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds MTU")]
     fn oversized_frame_panics() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let costs = EthNicCosts {
             tx_frame: SimDuration::ZERO,
@@ -184,7 +185,7 @@ mod tests {
         a.send(EthFrame {
             src: HostId(0),
             dst: HostId(1),
-            payload: vec![0; ETH_MTU + 1],
+            payload: vec![0; ETH_MTU + 1].into(),
         });
     }
 }

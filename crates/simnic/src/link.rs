@@ -71,7 +71,7 @@ mod tests {
 
     #[test]
     fn delivers_after_latency_in_order() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let q = SimQueue::<u32>::new(&h);
         let link = Link::new(

@@ -58,7 +58,7 @@ mod tests {
 
     #[test]
     fn kernel_work_serializes() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let m = Machine::new(&sim.handle(), HostId(0), "m", HostCosts::free());
         let cpu = KernelCpu::of(&m);
         let ends = Arc::new(Mutex::new(Vec::new()));
@@ -79,7 +79,7 @@ mod tests {
 
     #[test]
     fn zero_charge_is_free_and_nonblocking() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let m = Machine::new(&sim.handle(), HostId(0), "m", HostCosts::free());
         let cpu = KernelCpu::of(&m);
         sim.spawn("w", move |ctx| {
@@ -91,7 +91,7 @@ mod tests {
 
     #[test]
     fn same_instance_per_machine() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let m = Machine::new(&sim.handle(), HostId(0), "m", HostCosts::free());
         let a = KernelCpu::of(&m);
         let b = KernelCpu::of(&m);

@@ -135,7 +135,7 @@ mod tests {
 
     #[test]
     fn write_then_read() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let pipe = Pipe::new(&sim.handle());
         {
             let pipe = Arc::clone(&pipe);
@@ -164,7 +164,7 @@ mod tests {
 
     #[test]
     fn large_transfer_respects_capacity() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let pipe = Pipe::new(&sim.handle());
         let payload: Vec<u8> = (0..50_000u32).map(|i| (i % 256) as u8).collect();
         {
@@ -193,7 +193,7 @@ mod tests {
 
     #[test]
     fn write_to_closed_pipe_fails() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let pipe = Pipe::new(&sim.handle());
         pipe.drop_reader();
         {
@@ -210,7 +210,7 @@ mod tests {
 
     #[test]
     fn eof_only_after_drain() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let pipe = Pipe::new(&sim.handle());
         {
             let pipe = Arc::clone(&pipe);

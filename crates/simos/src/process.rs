@@ -359,7 +359,7 @@ mod tests {
 
     #[test]
     fn dummy_fd_allocation() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let m = machine(&sim.handle());
         let p = m.spawn_process("p");
         sim.spawn("main", move |ctx| {
@@ -380,7 +380,7 @@ mod tests {
 
     #[test]
     fn file_io_through_fds() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let m = machine(&sim.handle());
         let p = m.spawn_process("p");
         let m2 = m.clone();
@@ -404,7 +404,7 @@ mod tests {
     fn fork_ls_pipe_pattern() {
         // The FTP server's "dir" flow: fork a child, child writes a listing
         // into a pipe, parent reads until EOF.
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let m = machine(&sim.handle());
         m.fs().add_file("pub/readme", vec![0; 100]);
         m.fs().add_file("pub/data", vec![0; 2000]);
@@ -443,7 +443,7 @@ mod tests {
 
     #[test]
     fn fork_cow_isolates_private_memory() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let m = machine(&sim.handle());
         let p = m.spawn_process("parent");
         let done = Arc::new(Mutex::new(0u32));
@@ -469,7 +469,7 @@ mod tests {
 
     #[test]
     fn charged_costs_advance_time() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let m = Machine::new(
             &sim.handle(),
             HostId(0),

@@ -46,7 +46,7 @@ mod tests {
 
     #[test]
     fn listen_accept_echo() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let (_m, p) = setup(&h);
         let server_p = p.clone();
@@ -81,7 +81,7 @@ mod tests {
     fn descriptor_dispatch_mixes_sockets_and_files() {
         // The Figure 4 scenario: one process holds a file fd and a socket
         // fd; write() routes each to the right place.
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let (m, p) = setup(&h);
         let addr = SockAddr::new(HostId(0), 9);
@@ -120,7 +120,7 @@ mod tests {
 
     #[test]
     fn socket_table_cleans_up_on_close() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let (_m, p) = setup(&h);
         sim.spawn("main", move |ctx| {
@@ -138,7 +138,7 @@ mod tests {
 
     #[test]
     fn no_provider_error() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let (_m, p) = setup(&h);
         sim.spawn("main", move |ctx| {
@@ -150,7 +150,7 @@ mod tests {
 
     #[test]
     fn stdio_lines_roundtrip() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let (_m, p) = setup(&h);
         let addr = SockAddr::new(HostId(0), 21);
@@ -198,7 +198,7 @@ mod tests {
 
     #[test]
     fn partial_reads_with_carry() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let (_m, p) = setup(&h);
         let addr = SockAddr::new(HostId(0), 5);

@@ -8,7 +8,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use dsim::sync::SimQueue;
-use dsim::{SimCtx, SimHandle};
+use dsim::{Payload, SimCtx, SimHandle};
 use parking_lot::Mutex;
 use simos::Process;
 
@@ -16,9 +16,10 @@ use crate::provider::{Socket, SocketProvider};
 use crate::types::{SockAddr, SockError, SockOption, SockResult, Shutdown};
 
 /// One direction of a loopback connection. An empty chunk is the EOF
-/// sentinel.
+/// sentinel. Chunks are shared buffers: a send allocates once and the
+/// receiver reads windows of that allocation.
 struct HalfPipe {
-    q: Arc<SimQueue<Vec<u8>>>,
+    q: Arc<SimQueue<Payload>>,
 }
 
 impl HalfPipe {
@@ -32,9 +33,10 @@ impl HalfPipe {
 }
 
 struct Conn {
-    tx: Arc<SimQueue<Vec<u8>>>,
-    rx: Arc<SimQueue<Vec<u8>>>,
-    rx_carry: Mutex<Vec<u8>>,
+    tx: Arc<SimQueue<Payload>>,
+    rx: Arc<SimQueue<Payload>>,
+    /// Unread tail of a chunk larger than the reader's buffer.
+    rx_carry: Mutex<Payload>,
     eof: Mutex<bool>,
     peer: SockAddr,
     local: SockAddr,
@@ -164,7 +166,7 @@ impl Socket for LoopbackSocket {
         let client_conn = Arc::new(Conn {
             tx: c2s_tx.q,
             rx: s2c_rx.q,
-            rx_carry: Mutex::new(Vec::new()),
+            rx_carry: Mutex::new(Payload::empty()),
             eof: Mutex::new(false),
             peer: addr,
             local,
@@ -172,7 +174,7 @@ impl Socket for LoopbackSocket {
         let server_conn = Arc::new(Conn {
             tx: s2c_tx.q,
             rx: c2s_rx.q,
-            rx_carry: Mutex::new(Vec::new()),
+            rx_carry: Mutex::new(Payload::empty()),
             eof: Mutex::new(false),
             peer: local,
             local: addr,
@@ -189,7 +191,9 @@ impl Socket for LoopbackSocket {
                 if data.is_empty() {
                     return Ok(0);
                 }
-                c.tx.push(data.to_vec());
+                // The one sender-side allocation; the receiver reads
+                // windows of this buffer without further copies.
+                c.tx.push(Payload::copy_from_slice(data));
                 Ok(data.len())
             }
             Inner::Closed => Err(SockError::Closed),
@@ -211,7 +215,8 @@ impl Socket for LoopbackSocket {
             let mut carry = conn.rx_carry.lock();
             if !carry.is_empty() {
                 let n = max.min(carry.len());
-                let out: Vec<u8> = carry.drain(..n).collect();
+                let out = carry.slice(..n).to_owned_vec();
+                *carry = carry.slice(n..);
                 return Ok(out);
             }
         }
@@ -224,18 +229,18 @@ impl Socket for LoopbackSocket {
             return Ok(Vec::new());
         }
         if chunk.len() <= max {
-            Ok(chunk)
+            // Unique full-buffer chunks move straight through.
+            Ok(chunk.into_vec())
         } else {
-            let (now, later) = chunk.split_at(max);
-            conn.rx_carry.lock().extend_from_slice(later);
-            Ok(now.to_vec())
+            *conn.rx_carry.lock() = chunk.slice(max..);
+            Ok(chunk.slice(..max).to_owned_vec())
         }
     }
 
     fn shutdown(&self, _ctx: &SimCtx, _how: Shutdown) -> SockResult<()> {
         match &*self.inner.lock() {
             Inner::Connected(c) => {
-                c.tx.push(Vec::new()); // EOF sentinel; receiving continues
+                c.tx.push(Payload::empty()); // EOF sentinel; receiving continues
                 Ok(())
             }
             _ => Err(SockError::NotConnected),
@@ -246,7 +251,7 @@ impl Socket for LoopbackSocket {
         let mut inner = self.inner.lock();
         match &*inner {
             Inner::Connected(c) => {
-                c.tx.push(Vec::new()); // EOF sentinel
+                c.tx.push(Payload::empty()); // EOF sentinel
                 *inner = Inner::Closed;
                 Ok(())
             }

@@ -4,7 +4,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use dsim::{SimCtx, SimDuration};
+use dsim::{Payload, SimCtx, SimDuration};
 use parking_lot::Mutex;
 use simnic::{EthFrame, EthPort, ETH_MTU};
 use simos::{HostId, KernelCpu, Machine};
@@ -12,7 +12,7 @@ use via::{Descriptor, MemRegion, Reliability, ViAttributes, ViaNic, ViaNicId, Vi
 
 /// Handler invoked (on a device service thread) for each arriving IP
 /// packet's wire bytes.
-pub type IpRxHandler = Arc<dyn Fn(&SimCtx, Vec<u8>) + Send + Sync>;
+pub type IpRxHandler = Arc<dyn Fn(&SimCtx, Payload) + Send + Sync>;
 
 /// A link-layer device the TCP/IP stack can run over.
 pub trait NetDevice: Send + Sync {
@@ -20,7 +20,7 @@ pub trait NetDevice: Send + Sync {
     fn mtu(&self) -> usize;
     /// Queue a serialized IP packet for `dst`; may block briefly on ring
     /// space. Transmission costs are charged by the device engines.
-    fn send(&self, ctx: &SimCtx, dst: HostId, packet: Vec<u8>);
+    fn send(&self, ctx: &SimCtx, dst: HostId, packet: Payload);
     /// Register the IP receive handler.
     fn set_rx(&self, handler: IpRxHandler);
 }
@@ -44,7 +44,7 @@ impl NetDevice for EthDevice {
         ETH_MTU
     }
 
-    fn send(&self, _ctx: &SimCtx, dst: HostId, packet: Vec<u8>) {
+    fn send(&self, _ctx: &SimCtx, dst: HostId, packet: Payload) {
         self.port.send(EthFrame {
             src: self.host,
             dst,
@@ -183,7 +183,7 @@ impl LaneDevice {
                     return; // VI torn down
                 };
                 let st = desc.status();
-                let bytes = desc.region.dma_read(desc.offset, st.xfer_len);
+                let bytes = Payload::new(desc.region.dma_read(desc.offset, st.xfer_len));
                 // Re-post immediately: ring discipline keeps the
                 // pre-posting constraint satisfied.
                 let fresh = Descriptor::recv(Arc::clone(&desc.region), desc.offset, LANE_MTU);
@@ -233,7 +233,7 @@ impl NetDevice for LaneDevice {
         LANE_MTU
     }
 
-    fn send(&self, ctx: &SimCtx, dst: HostId, packet: Vec<u8>) {
+    fn send(&self, ctx: &SimCtx, dst: HostId, packet: Payload) {
         assert!(packet.len() <= LANE_MTU, "LANE packet exceeds MTU");
         let peer = self
             .peers

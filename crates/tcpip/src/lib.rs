@@ -105,7 +105,7 @@ mod tests {
 
     #[test]
     fn close_handshake_terminates_promptly() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let (_m0, _m1, p0, p1) = ethernet_testbed(&sim.handle());
         spawn_echo_server(&sim.handle(), p1, usize::MAX);
         sim.spawn("client", move |ctx| {
@@ -126,7 +126,7 @@ mod tests {
 
     #[test]
     fn ethernet_echo_roundtrip() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let (_m0, _m1, p0, p1) = ethernet_testbed(&sim.handle());
         spawn_echo_server(&sim.handle(), p1, usize::MAX);
         sim.spawn("client", move |ctx| {
@@ -146,7 +146,7 @@ mod tests {
         // Multi-segment transfer with sliding window, ACK clocking and
         // buffer wrap: must be byte-exact.
         const LEN: usize = 300_000;
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let (_m0, _m1, p0, p1) = ethernet_testbed(&sim.handle());
         {
             let p1 = p1.clone();
@@ -176,7 +176,7 @@ mod tests {
 
     #[test]
     fn connect_refused_gets_rst() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let (_m0, _m1, p0, _p1) = ethernet_testbed(&sim.handle());
         sim.spawn("client", move |ctx| {
             let s = api::socket(ctx, &p0, SockType::Stream).unwrap();
@@ -188,7 +188,7 @@ mod tests {
 
     #[test]
     fn lane_echo_within_event_budget() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         lane_testbed(&sim, |ctx, p0, p1| {
             let h = ctx.handle().clone();
             spawn_echo_server(&h, p1, usize::MAX);
@@ -209,7 +209,7 @@ mod tests {
 
     #[test]
     fn lane_echo_roundtrip() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         lane_testbed(&sim, |ctx, p0, p1| {
             let h = ctx.handle().clone();
             spawn_echo_server(&h, p1, usize::MAX);
@@ -231,7 +231,7 @@ mod tests {
         // The paper: TCP over LANE shows ~55 us latency for 4-byte
         // messages (with TCP_NODELAY). Half the ping-pong RTT.
         const ROUNDS: u32 = 50;
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let one_way = Arc::new(Mutex::new(0f64));
         let one_way2 = Arc::clone(&one_way);
         lane_testbed(&sim, move |ctx, p0, p1| {
@@ -284,7 +284,7 @@ mod tests {
         // The paper: TCP bandwidth tops out near 450 Mb/s (~55% of native
         // VIA) with the socket buffer raised to 131,170.
         const TOTAL: usize = 4 * 1024 * 1024;
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let mbps = Arc::new(Mutex::new(0f64));
         let mbps2 = Arc::clone(&mbps);
         lane_testbed(&sim, move |ctx, p0, p1| {
@@ -338,7 +338,7 @@ mod tests {
     #[test]
     fn ethernet_bandwidth_near_wire_rate() {
         const TOTAL: usize = 1024 * 1024;
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let (_m0, _m1, p0, p1) = ethernet_testbed(&sim.handle());
         let mbps = Arc::new(Mutex::new(0f64));
         {
@@ -401,7 +401,7 @@ mod tests {
         fn mtu(&self) -> usize {
             self.inner.mtu()
         }
-        fn send(&self, ctx: &dsim::SimCtx, dst: HostId, packet: Vec<u8>) {
+        fn send(&self, ctx: &dsim::SimCtx, dst: HostId, packet: dsim::Payload) {
             use std::sync::atomic::Ordering;
             let has_payload = IpPacket::decode(&packet)
                 .map(|p| !p.tcp.payload.is_empty())
@@ -427,7 +427,7 @@ mod tests {
     #[test]
     fn retransmission_recovers_from_packet_loss() {
         const LEN: usize = 200_000;
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let m0 = Machine::new(&h, HostId(0), "m0", HostCosts::pentium3_500());
         let m1 = Machine::new(&h, HostId(1), "m1", HostCosts::pentium3_500());
@@ -483,7 +483,7 @@ mod tests {
 
     #[test]
     fn bidirectional_traffic() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let (_m0, _m1, p0, p1) = ethernet_testbed(&sim.handle());
         {
             let p1 = p1.clone();

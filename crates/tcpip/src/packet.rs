@@ -5,6 +5,7 @@
 //! 32-bit — the paper raises the socket buffer to 131,170 bytes, which a
 //! 16-bit window could not advertise without scaling.
 
+use dsim::Payload;
 use simos::HostId;
 
 /// IP protocol number for TCP.
@@ -85,8 +86,8 @@ pub struct TcpSegment {
     pub flags: TcpFlags,
     /// Advertised receive window (bytes).
     pub wnd: u32,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes (shared, never copied between layers).
+    pub payload: Payload,
 }
 
 /// An IP packet carrying a TCP segment.
@@ -106,8 +107,9 @@ impl IpPacket {
         IP_HDR + TCP_HDR + self.tcp.payload.len()
     }
 
-    /// Serialize to wire bytes.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serialize to wire bytes: one allocation per packet, shared (not
+    /// re-copied) by every layer the frame subsequently traverses.
+    pub fn encode(&self) -> Payload {
         let mut out = Vec::with_capacity(self.wire_len());
         // IP header (simplified fields, fixed 20 bytes).
         out.push(0x45); // version 4, IHL 5
@@ -131,11 +133,12 @@ impl IpPacket {
         out.extend_from_slice(&self.tcp.wnd.to_be_bytes());
         debug_assert_eq!(out.len(), IP_HDR + TCP_HDR);
         out.extend_from_slice(&self.tcp.payload);
-        out
+        Payload::new(out)
     }
 
-    /// Parse wire bytes; `None` on malformed input.
-    pub fn decode(buf: &[u8]) -> Option<IpPacket> {
+    /// Parse wire bytes; `None` on malformed input. The segment payload is
+    /// a slice of `buf`'s backing allocation — no copy.
+    pub fn decode(buf: &Payload) -> Option<IpPacket> {
         if buf.len() < IP_HDR + TCP_HDR || buf[0] != 0x45 || buf[9] != PROTO_TCP {
             return None;
         }
@@ -153,7 +156,7 @@ impl IpPacket {
             ack: u32::from_be_bytes(t[8..12].try_into().ok()?),
             flags: TcpFlags(t[12]),
             wnd: u32::from_be_bytes(t[16..20].try_into().ok()?),
-            payload: t[TCP_HDR..].to_vec(),
+            payload: buf.slice(IP_HDR + TCP_HDR..),
         };
         Some(IpPacket { src, dst, tcp })
     }
@@ -174,7 +177,7 @@ mod tests {
                 ack: 0x1234_5678,
                 flags: TcpFlags::ACK | TcpFlags::PSH,
                 wnd: 131_170,
-                payload: payload.to_vec(),
+                payload: payload.into(),
             },
         }
     }
@@ -210,11 +213,21 @@ mod tests {
 
     #[test]
     fn malformed_rejected() {
-        assert_eq!(IpPacket::decode(&[]), None);
-        assert_eq!(IpPacket::decode(&[0u8; 39]), None);
+        assert_eq!(IpPacket::decode(&Payload::empty()), None);
+        assert_eq!(IpPacket::decode(&Payload::new(vec![0u8; 39])), None);
         let p = sample(b"abc");
-        let mut bytes = p.encode();
-        bytes.truncate(bytes.len() - 1); // length mismatch
-        assert_eq!(IpPacket::decode(&bytes), None);
+        let bytes = p.encode();
+        let truncated = bytes.slice(..bytes.len() - 1); // length mismatch
+        assert_eq!(IpPacket::decode(&truncated), None);
+    }
+
+    #[test]
+    fn decode_payload_shares_wire_buffer() {
+        let p = sample(b"zero copy please");
+        let wire = p.encode();
+        let d = IpPacket::decode(&wire).unwrap();
+        assert_eq!(d.tcp.payload, p.tcp.payload);
+        // The decoded payload is a window into the wire bytes, not a copy.
+        assert_eq!(&wire[IP_HDR + TCP_HDR..], &*d.tcp.payload);
     }
 }

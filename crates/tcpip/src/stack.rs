@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use dsim::sync::SimQueue;
-use dsim::SimCtx;
+use dsim::{Payload, SimCtx};
 use parking_lot::Mutex;
 use simos::{HostId, KernelCpu, Machine};
 use sockets::{SockAddr, SockError, SockResult};
@@ -146,7 +146,7 @@ impl TcpStack {
     }
 
     /// The device receive path (runs on the device's service thread).
-    fn on_packet(self: &Arc<Self>, ctx: &SimCtx, bytes: Vec<u8>) {
+    fn on_packet(self: &Arc<Self>, ctx: &SimCtx, bytes: Payload) {
         let Some(packet) = IpPacket::decode(&bytes) else {
             return;
         };
@@ -198,7 +198,7 @@ impl TcpStack {
                 ack: 0,
                 flags: TcpFlags::RST,
                 wnd: 0,
-                payload: Vec::new(),
+                payload: Payload::empty(),
             },
         };
         self.device.send(ctx, src_host, rst.encode());

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use dsim::sync::{SimCondvar, SimQueue};
-use dsim::{SimCtx, SimHandle};
+use dsim::{Payload, SimCtx, SimHandle};
 use parking_lot::Mutex;
 use simos::{HostCosts, KernelCpu};
 use sockets::{SockAddr, SockError, SockResult};
@@ -71,9 +71,53 @@ struct Snd {
     small_limit: u32,
 }
 
+/// The receive-side socket buffer: a FIFO of payload *windows* rather
+/// than flattened bytes. Arriving segments are queued as zero-copy slices
+/// of the wire buffer; bytes are only materialized when `recv` assembles
+/// the user's buffer (the copy whose `memcpy` cost is charged there).
+#[derive(Default)]
+struct SegQueue {
+    segs: VecDeque<Payload>,
+    len: usize,
+}
+
+impl SegQueue {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn push(&mut self, seg: Payload) {
+        if !seg.is_empty() {
+            self.len += seg.len();
+            self.segs.push_back(seg);
+        }
+    }
+
+    /// Remove up to `max` bytes from the front into an owned buffer (the
+    /// kernel→user copy).
+    fn pop_into_vec(&mut self, max: usize) -> Vec<u8> {
+        let n = max.min(self.len);
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let seg = self.segs.pop_front().expect("len tracks queued segments");
+            let take = (n - out.len()).min(seg.len());
+            out.extend_from_slice(&seg[..take]);
+            if take < seg.len() {
+                self.segs.push_front(seg.slice(take..));
+            }
+        }
+        self.len -= n;
+        out
+    }
+}
+
 struct Rcv {
     nxt: u32,
-    buf: VecDeque<u8>,
+    buf: SegQueue,
     fin_rcvd: bool,
     /// Remaining arrivals to acknowledge immediately (Linux-style
     /// quickack while the peer's congestion window ramps; prevents the
@@ -175,7 +219,7 @@ impl Tcb {
             }),
             rcv: Mutex::new(Rcv {
                 nxt: 1,
-                buf: VecDeque::new(),
+                buf: SegQueue::default(),
                 fin_rcvd: false,
                 quickack: 16,
                 unacked_segments: 0,
@@ -239,7 +283,7 @@ impl Tcb {
 
     /// Build+send one segment, charging kernel costs. Runs on the tx
     /// engine or (for control segments) the caller's thread.
-    fn emit(&self, ctx: &SimCtx, seq: u32, flags: TcpFlags, payload: Vec<u8>) {
+    fn emit(&self, ctx: &SimCtx, seq: u32, flags: TcpFlags, payload: Payload) {
         let (ack, wnd) = {
             let mut rcv = self.rcv.lock();
             rcv.unacked_segments = 0;
@@ -283,7 +327,7 @@ impl Tcb {
                 ack: 0,
                 flags: TcpFlags::SYN,
                 wnd: self.rcv_cap.load(Ordering::Relaxed) as u32,
-                payload: Vec::new(),
+                payload: Payload::empty(),
             },
         };
         self.device.send(ctx, self.remote.host, packet.encode());
@@ -291,7 +335,7 @@ impl Tcb {
     }
 
     pub(crate) fn send_syn_ack(&self, ctx: &SimCtx) {
-        self.emit(ctx, 0, TcpFlags::SYN, Vec::new());
+        self.emit(ctx, 0, TcpFlags::SYN, Payload::empty());
     }
 
     // ----- the transmit engine ---------------------------------------------
@@ -302,7 +346,7 @@ impl Tcb {
                 return;
             }
             enum Job {
-                Data { seq: u32, payload: Vec<u8> },
+                Data { seq: u32, payload: Payload },
                 Fin { seq: u32 },
                 PureAck,
                 Idle,
@@ -331,8 +375,12 @@ impl Tcb {
                         && seg == avail; // only the true tail is held
                     if seg > 0 && !nagle_holds {
                         let start = seq_diff(snd.nxt, snd.una) as usize;
-                        let payload: Vec<u8> =
-                            snd.buf.iter().skip(start).take(seg as usize).copied().collect();
+                        // The one sender-side packet allocation: segment
+                        // bytes leave the socket buffer into a shared
+                        // Payload that no later layer copies.
+                        let payload = Payload::new(
+                            snd.buf.iter().skip(start).take(seg as usize).copied().collect(),
+                        );
                         let seq = snd.nxt;
                         snd.nxt = snd.nxt.wrapping_add(seg);
                         if seq_diff(snd.nxt, snd.high) < 1 << 31 && snd.nxt != snd.high {
@@ -367,14 +415,14 @@ impl Tcb {
                     self.arm_rto();
                 }
                 Job::Fin { seq } => {
-                    self.emit(ctx, seq, TcpFlags::FIN, Vec::new());
+                    self.emit(ctx, seq, TcpFlags::FIN, Payload::empty());
                     self.arm_rto();
                 }
                 Job::PureAck => {
                     // Read nxt into a local: emit() advances virtual time
                     // and must never run under the snd lock.
                     let seq = self.snd.lock().nxt;
-                    self.emit(ctx, seq, TcpFlags::empty(), Vec::new());
+                    self.emit(ctx, seq, TcpFlags::empty(), Payload::empty());
                 }
                 Job::Idle => {
                     self.cv_tx.wait(ctx);
@@ -557,7 +605,8 @@ impl Tcb {
                     .load(Ordering::Relaxed)
                     .saturating_sub(rcv.buf.len());
                 let take = payload_len.min(room);
-                rcv.buf.extend(&seg.payload[..take]);
+                // Queue a window of the wire bytes — no copy until recv().
+                rcv.buf.push(seg.payload.slice(..take));
                 rcv.nxt = rcv.nxt.wrapping_add(take as u32);
                 if take < payload_len {
                     rcv.window_was_closed = true;
@@ -616,7 +665,7 @@ impl Tcb {
             let need_final_ack = self.rcv.lock().ack_now;
             if need_final_ack {
                 let seq = self.snd.lock().nxt;
-                self.emit(ctx, seq, TcpFlags::empty(), Vec::new());
+                self.emit(ctx, seq, TcpFlags::empty(), Payload::empty());
             }
             let mut st = self.state.lock();
             if *st != TcpState::Closed {
@@ -709,8 +758,7 @@ impl Tcb {
             let (out, reopened) = {
                 let mut rcv = self.rcv.lock();
                 if !rcv.buf.is_empty() {
-                    let n = max.min(rcv.buf.len());
-                    let out: Vec<u8> = rcv.buf.drain(..n).collect();
+                    let out = rcv.buf.pop_into_vec(max);
                     let reopened = std::mem::take(&mut rcv.window_was_closed);
                     if reopened {
                         rcv.ack_now = true;

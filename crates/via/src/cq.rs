@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn poll_and_wait() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let cq = CompletionQueue::new(&h);
         let costs = HostCosts::pentium3_500();
@@ -147,7 +147,7 @@ mod tests {
 
     #[test]
     fn fifo_order() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let cq = CompletionQueue::new(&h);
         for i in 0..4 {

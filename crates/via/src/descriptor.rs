@@ -127,7 +127,7 @@ mod tests {
     use simos::{HostCosts, HostId, Machine};
 
     fn region(len: usize) -> Arc<MemRegion> {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let m = Machine::new(&sim.handle(), HostId(0), "m", HostCosts::free());
         let p = m.spawn_process("p");
         let out: Arc<Mutex<Option<Arc<MemRegion>>>> = Arc::new(Mutex::new(None));

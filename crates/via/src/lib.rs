@@ -65,7 +65,7 @@ mod tests {
 
     #[test]
     fn connect_accept_and_transfer() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let (m0, m1, n0, n1) = testbed(&h);
         let received = Arc::new(Mutex::new(Vec::new()));
@@ -121,7 +121,7 @@ mod tests {
     fn native_via_latency_anchor() {
         // The paper's anchor: 8.5 us one-way latency for 4-byte messages
         // on cLAN (half of the ping-pong round trip). Polling mode.
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let (m0, m1, n0, n1) = testbed(&h);
         const ROUNDS: u32 = 100;
@@ -182,7 +182,7 @@ mod tests {
 
     #[test]
     fn preposting_constraint_drops_on_unreliable_vi() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let (m0, m1, n0, n1) = testbed(&h);
         {
@@ -228,7 +228,7 @@ mod tests {
 
     #[test]
     fn preposting_violation_breaks_reliable_vi() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let (m0, m1, n0, n1) = testbed(&h);
         {
@@ -268,7 +268,7 @@ mod tests {
 
     #[test]
     fn connect_to_unlistened_port_is_refused() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let (m0, _m1, n0, _n1) = testbed(&h);
         sim.spawn("client", move |ctx| {
@@ -283,7 +283,7 @@ mod tests {
 
     #[test]
     fn disconnect_fails_peer_descriptors() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let (m0, m1, n0, n1) = testbed(&h);
         {
@@ -319,7 +319,7 @@ mod tests {
 
     #[test]
     fn completion_queue_coalesces_two_vis() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let (m0, m1, n0, n1) = testbed(&h);
         let seen = Arc::new(Mutex::new(Vec::new()));
@@ -373,7 +373,7 @@ mod tests {
 
     #[test]
     fn oversized_send_rejected() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let (m0, _m1, n0, _n1) = testbed(&h);
         sim.spawn("client", move |ctx| {
@@ -398,7 +398,7 @@ mod tests {
     fn bandwidth_anchor_815mbps() {
         // Stream 32KB messages with plenty of pre-posted descriptors; the
         // sending NIC pipeline should sustain ~812 Mb/s.
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let (m0, m1, n0, n1) = testbed(&h);
         const MSGS: usize = 64;

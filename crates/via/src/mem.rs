@@ -82,7 +82,7 @@ mod tests {
 
     #[test]
     fn register_charges_per_page_and_pins() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let m = Machine::new(
             &sim.handle(),
             HostId(0),
@@ -110,7 +110,7 @@ mod tests {
 
     #[test]
     fn unaligned_registration_counts_spanned_pages() {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let m = Machine::new(&sim.handle(), HostId(0), "m", HostCosts::free());
         let p = m.spawn_process("p");
         sim.spawn("main", move |ctx| {

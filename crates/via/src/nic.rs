@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use dsim::sync::SimQueue;
-use dsim::{SimCtx, SimDuration};
+use dsim::{Payload, SimCtx, SimDuration};
 use parking_lot::Mutex;
 use simnic::{Link, LinkParams, ViaNicCosts};
 use simos::Machine;
@@ -62,7 +62,7 @@ pub(crate) enum MgmtMsg {
 pub(crate) enum ViaFrame {
     Data {
         dst_vi: u32,
-        payload: Vec<u8>,
+        payload: Payload,
         immediate: Option<u32>,
     },
     Mgmt(MgmtMsg),
@@ -242,7 +242,7 @@ impl ViaNic {
         let link = self.link_to(peer_nic);
         // DMA the payload out of host memory and serialize it onto the
         // wire; the NIC is busy for the whole transfer (store-and-forward).
-        let payload = desc.region.dma_read(desc.offset, desc.len);
+        let payload = Payload::new(desc.region.dma_read(desc.offset, desc.len));
         let busy_ns = self.costs.dma_ns_per_byte * desc.len as f64
             + link.params().ns_per_byte * (desc.len + VIA_FRAME_OVERHEAD) as f64;
         ctx.sleep(SimDuration::from_nanos_f64(busy_ns));

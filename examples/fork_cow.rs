@@ -25,7 +25,7 @@ const FILE_LEN: usize = 256 * 1024;
 /// Run `dir` (forking the server) followed by a download; report what the
 /// client experienced.
 fn run_session(use_shared_segments: bool) -> String {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let config = SoviaConfig {
         use_shared_segments,
         ..SoviaConfig::dacks()

@@ -20,7 +20,7 @@ use sovia_repro::testbed;
 const FILE_LEN: usize = 8 * 1024 * 1024;
 
 fn main() {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let report = Arc::new(Mutex::new(String::new()));
     let report2 = Arc::clone(&report);
 

@@ -22,7 +22,7 @@ const FILE_LEN: usize = 12 * 1024 * 1024;
 const PORT: u16 = 9100;
 
 fn main() {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let h = sim.handle();
     let machines = testbed::sovia_cluster(&h, 4, SoviaConfig::default());
     let servers = [HostId(1), HostId(2), HostId(3)];

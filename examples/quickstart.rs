@@ -14,7 +14,7 @@ use sovia::SoviaConfig;
 use sovia_repro::testbed;
 
 fn main() {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
 
     // The platform: two PIII-500 machines, back-to-back cLAN1000, SOVIA
     // registered as the SOCK_VIA provider on both.

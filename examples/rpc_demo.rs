@@ -20,7 +20,7 @@ use sovia_repro::testbed;
 const CALLS: u32 = 50;
 
 fn measure(transport: Transport) -> (f64, f64) {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let out = Arc::new(Mutex::new((0f64, 0f64)));
     let out2 = Arc::clone(&out);
     testbed::clan_dual_stack(&sim, SoviaConfig::default(), move |ctx, m0, m1| {

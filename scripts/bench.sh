@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Substrate performance gate: regenerates the perf report and refuses to
+# update the committed baseline when the fast-path-on wall time of any
+# scenario regresses by more than 10%. `--force` accepts the regression
+# (e.g. after a deliberate trade-off) and updates the baseline anyway.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FORCE=0
+[ "${1:-}" = "--force" ] && FORCE=1
+
+BASELINE=BENCH_substrate.json
+NEW=target/BENCH_substrate.new.json
+
+cargo build --release -p bench --bin perf_report
+./target/release/perf_report --out "$NEW" >/dev/null
+
+# The fast-path-on wall_ms of each scenario, in file order.
+wall_on() {
+    awk '/"fast_path_on"/{on=1} on && /"wall_ms"/{gsub(/[",]/,""); print $2; on=0}' "$1"
+}
+
+# Regression = worse than baseline by >10% AND by >5 ms (the absolute
+# slack keeps host noise on short scenarios from tripping the gate).
+regressed() {
+    awk -v n="$1" -v o="$2" 'BEGIN{exit !(n > o * 1.10 && n > o + 5.0)}'
+}
+
+if [ -f "$BASELINE" ]; then
+    mapfile -t old < <(wall_on "$BASELINE")
+    mapfile -t new < <(wall_on "$NEW")
+    fail=0
+    for i in "${!old[@]}"; do
+        if regressed "${new[$i]:-0}" "${old[$i]}"; then
+            echo "REGRESSION: scenario $i fast-path wall ${old[$i]} ms -> ${new[$i]:-?} ms (>10%)" >&2
+            fail=1
+        fi
+    done
+    if [ "$fail" = 1 ] && [ "$FORCE" = 0 ]; then
+        echo "refusing to update $BASELINE (rerun with --force to accept)" >&2
+        exit 1
+    fi
+fi
+mv "$NEW" "$BASELINE"
+echo "updated $BASELINE"

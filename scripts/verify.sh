@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate (see ROADMAP.md): release build + test suite, then the
+# full workspace test run (the root `cargo test` only covers the root
+# package).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo test --workspace -q
+echo "tier-1 OK"

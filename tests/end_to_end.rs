@@ -14,7 +14,7 @@ use sovia_repro::testbed;
 /// SOVIA" is the problem the dynamic dispatch solves).
 #[test]
 fn tcp_and_sovia_coexist_in_one_process() {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let seen = Arc::new(Mutex::new(Vec::new()));
     let seen2 = Arc::clone(&seen);
     testbed::clan_dual_stack(&sim, SoviaConfig::default(), move |ctx, m0, m1| {
@@ -67,7 +67,7 @@ fn tcp_and_sovia_coexist_in_one_process() {
 #[test]
 fn simulation_is_deterministic() {
     fn run_once() -> u64 {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let (m0, m1) = testbed::sovia_pair(&sim.handle(), SoviaConfig::default());
         let (cp, sp) = testbed::procs(&m0, &m1);
         {
@@ -115,7 +115,7 @@ fn simulation_is_deterministic() {
 #[test]
 fn latency_hierarchy_holds() {
     fn pingpong_ns(config: Option<SoviaConfig>) -> u64 {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let out = Arc::new(Mutex::new(0u64));
         let stype = if config.is_some() {
             SockType::Via

@@ -16,7 +16,7 @@ const REQ: usize = 30_000;
 const RESP: usize = 70_000;
 
 fn run_half_close(stype: SockType) {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let done = Arc::new(Mutex::new(false));
     let done2 = Arc::clone(&done);
     let run = move |ctx: &dsim::SimCtx, m0: simos::Machine, m1: simos::Machine| {
@@ -97,7 +97,7 @@ fn half_close_over_tcp() {
 
 #[test]
 fn sovia_listen_port_conflict_is_addrinuse() {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let (m0, _m1) = testbed::sovia_pair(&sim.handle(), SoviaConfig::default());
     let p = m0.spawn_process("p");
     sim.spawn("main", move |ctx| {

@@ -21,7 +21,7 @@ const PORT: u16 = 7;
 /// receive chunk size; assert byte-exactness and zero drops.
 fn roundtrip(config: SoviaConfig, sends: Vec<usize>, recv_chunk: usize, seed: u64) {
     let total: usize = sends.iter().sum();
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let (m0, m1) = testbed::sovia_pair(&sim.handle(), config);
     let (cp, sp) = testbed::procs(&m0, &m1);
     {
@@ -114,7 +114,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let total: usize = sends.iter().sum();
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let (m0, m1) = testbed::tcp_ethernet_pair(&sim.handle());
         let (cp, sp) = testbed::procs(&m0, &m1);
         let ok = Arc::new(Mutex::new(false));

@@ -163,7 +163,7 @@ proptest! {
                 ack,
                 flags: TcpFlags(flags),
                 wnd,
-                payload,
+                payload: payload.into(),
             },
         };
         prop_assert_eq!(IpPacket::decode(&p.encode()), Some(p));

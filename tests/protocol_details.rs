@@ -19,7 +19,7 @@ fn run_and_stats(
     client_msgs: usize,
     msg_len: usize,
 ) -> (ConnStats, ConnStats) {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let (m0, m1) = testbed::sovia_pair(&sim.handle(), config);
     let (cp, sp) = testbed::procs(&m0, &m1);
     let server_stats = Arc::new(Mutex::new(None));
@@ -129,7 +129,7 @@ fn small_sends_never_register() {
 
 #[test]
 fn combining_counts_combined_sends() {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let (m0, m1) = testbed::sovia_pair(&sim.handle(), SoviaConfig::combine());
     let (cp, sp) = testbed::procs(&m0, &m1);
     {
@@ -176,7 +176,7 @@ fn combining_counts_combined_sends() {
 
 #[test]
 fn send_to_fresh_socket_is_not_connected() {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let (m0, _m1) = testbed::sovia_pair(&sim.handle(), SoviaConfig::default());
     let p = m0.spawn_process("p");
     sim.spawn("main", move |ctx| {
@@ -202,7 +202,7 @@ fn send_to_fresh_socket_is_not_connected() {
 fn sovia_connections_on_three_hosts_simultaneously() {
     // One client talks to servers on two other hosts over one NIC each —
     // the link fabric and per-connection state must not interfere.
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let machines = testbed::sovia_cluster(&sim.handle(), 3, SoviaConfig::default());
     for (i, m) in machines.iter().enumerate().skip(1) {
         let p = m.spawn_process("server");

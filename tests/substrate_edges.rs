@@ -14,7 +14,7 @@ use sovia_repro::via::{
 
 #[test]
 fn spawn_delayed_starts_on_time() {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let started = Arc::new(Mutex::new(0u64));
     let s2 = Arc::clone(&started);
     sim.handle()
@@ -27,7 +27,7 @@ fn spawn_delayed_starts_on_time() {
 
 #[test]
 fn semaphore_try_acquire_never_blocks() {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let h = sim.handle();
     let sem = SimSemaphore::new(&h, 1);
     sim.spawn("main", move |_ctx| {
@@ -41,7 +41,7 @@ fn semaphore_try_acquire_never_blocks() {
 
 #[test]
 fn queue_len_tracks_pushes_and_pops() {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let h = sim.handle();
     let q = SimQueue::<u8>::new(&h);
     sim.spawn("main", move |_ctx| {
@@ -59,7 +59,7 @@ fn queue_len_tracks_pushes_and_pops() {
 
 #[test]
 fn deadlock_error_is_catchable_and_names_the_culprit() {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let h = sim.handle();
     let q = SimQueue::<u8>::new(&h);
     sim.spawn("starved-consumer", move |ctx| {
@@ -88,7 +88,7 @@ fn file_seek_and_overwrite() {
 
 #[test]
 fn via_post_send_on_unconnected_vi_fails_cleanly() {
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let m0 = Machine::new(&sim.handle(), HostId(0), "m0", HostCosts::free());
     let n0 = ViaNic::attach(&m0, ViaNicId(0), simnic::clan1000_nic());
     sim.spawn("main", move |ctx| {
@@ -114,7 +114,7 @@ fn via_post_send_on_unconnected_vi_fails_cleanly() {
 fn via_zero_byte_message_with_immediate_data() {
     // SOVIA's ACK packets are exactly this: no payload, all semantics in
     // the 32-bit immediate field.
-    let sim = Simulation::new();
+    let mut sim = Simulation::new();
     let m0 = Machine::new(&sim.handle(), HostId(0), "m0", HostCosts::free());
     let m1 = Machine::new(&sim.handle(), HostId(1), "m1", HostCosts::free());
     let n0 = ViaNic::attach(&m0, ViaNicId(0), simnic::clan1000_nic());
@@ -161,7 +161,7 @@ fn kernel_cpu_contention_is_visible_in_timing() {
     // Two "kernel" workers charging 50 us each on one machine finish at
     // 50 and 100 us; on two machines both finish at 50 us.
     fn run(machines: usize) -> Vec<u64> {
-        let sim = Simulation::new();
+        let mut sim = Simulation::new();
         let h = sim.handle();
         let ms: Vec<Machine> = (0..machines)
             .map(|i| Machine::new(&h, HostId(i as u32), format!("m{i}"), HostCosts::free()))
