@@ -4,74 +4,73 @@
 //! paper describes qualitatively in Section 3.1 (REQ/ACK three-way vs
 //! SOVIA's two-way handshake, whose cost appears as the stop-and-wait
 //! SINGLE series).
+//!
+//! Every sweep point is a fresh, independent simulation; each sweep runs
+//! its points through [`crate::runner::par_map`] on at most `threads`
+//! concurrent simulations (output is identical at any thread count).
 
 use sovia::SoviaConfig;
 
 use crate::figures::bandwidth_total;
 use crate::micro::{self, Series, Variant};
+use crate::runner;
 
 /// Sweep the flow-control window size at a fixed message size.
-pub fn window_sweep(msg_size: usize, windows: &[u32]) -> Series {
+pub fn window_sweep(msg_size: usize, windows: &[u32], threads: usize) -> Series {
+    let points = runner::par_map(windows, threads, |_, &w| {
+        let config = SoviaConfig {
+            flow_control: true,
+            window: w,
+            delayed_acks: w > 1,
+            ack_threshold: (w / 2).max(1),
+            ..SoviaConfig::single()
+        };
+        let v = Variant::Sovia(config);
+        (
+            w as usize,
+            micro::bandwidth_mbps(&v, msg_size, bandwidth_total(msg_size)),
+        )
+    });
     Series {
         name: format!("bandwidth@{msg_size}B vs window"),
-        points: windows
-            .iter()
-            .map(|&w| {
-                let config = SoviaConfig {
-                    flow_control: true,
-                    window: w,
-                    delayed_acks: w > 1,
-                    ack_threshold: (w / 2).max(1),
-                    ..SoviaConfig::single()
-                };
-                let v = Variant::Sovia(config);
-                (
-                    w as usize,
-                    micro::bandwidth_mbps(&v, msg_size, bandwidth_total(msg_size)),
-                )
-            })
-            .collect(),
+        points,
     }
 }
 
 /// Sweep the delayed-ACK threshold `t` with w = 32.
-pub fn ack_threshold_sweep(msg_size: usize, thresholds: &[u32]) -> Series {
+pub fn ack_threshold_sweep(msg_size: usize, thresholds: &[u32], threads: usize) -> Series {
+    let points = runner::par_map(thresholds, threads, |_, &t| {
+        let config = SoviaConfig {
+            delayed_acks: true,
+            ack_threshold: t,
+            ..SoviaConfig::flowctrl()
+        };
+        let v = Variant::Sovia(config);
+        (
+            t as usize,
+            micro::bandwidth_mbps(&v, msg_size, bandwidth_total(msg_size)),
+        )
+    });
     Series {
         name: format!("bandwidth@{msg_size}B vs ack threshold"),
-        points: thresholds
-            .iter()
-            .map(|&t| {
-                let config = SoviaConfig {
-                    delayed_acks: true,
-                    ack_threshold: t,
-                    ..SoviaConfig::flowctrl()
-                };
-                let v = Variant::Sovia(config);
-                (
-                    t as usize,
-                    micro::bandwidth_mbps(&v, msg_size, bandwidth_total(msg_size)),
-                )
-            })
-            .collect(),
+        points,
     }
 }
 
 /// Sweep the copy-vs-register threshold, measuring latency at a message
 /// size between the candidate thresholds (the paper picks 2 KB).
-pub fn copy_threshold_sweep(msg_size: usize, thresholds: &[usize]) -> Series {
+pub fn copy_threshold_sweep(msg_size: usize, thresholds: &[usize], threads: usize) -> Series {
+    let points = runner::par_map(thresholds, threads, |_, &thr| {
+        let config = SoviaConfig {
+            copy_threshold: thr,
+            ..SoviaConfig::dacks()
+        };
+        let v = Variant::Sovia(config);
+        (thr, micro::latency_us(&v, msg_size, 30))
+    });
     Series {
         name: format!("latency@{msg_size}B vs copy threshold"),
-        points: thresholds
-            .iter()
-            .map(|&thr| {
-                let config = SoviaConfig {
-                    copy_threshold: thr,
-                    ..SoviaConfig::dacks()
-                };
-                let v = Variant::Sovia(config);
-                (thr, micro::latency_us(&v, msg_size, 30))
-            })
-            .collect(),
+        points,
     }
 }
 
@@ -79,42 +78,48 @@ pub fn copy_threshold_sweep(msg_size: usize, thresholds: &[usize]) -> Series {
 /// handshake (Section 3.1: "the overhead of exchanging REQ and ACK packets
 /// ... has a substantial impact on the latency especially for small
 /// messages").
-pub fn handshake_comparison(sizes: &[usize]) -> Vec<Series> {
-    let two_way = Series {
-        name: "two-way (SOVIA)".into(),
-        points: sizes
-            .iter()
-            .map(|&s| {
-                (s, micro::latency_us(&Variant::Sovia(SoviaConfig::single()), s, 30))
-            })
-            .collect(),
-    };
-    let three_way = Series {
-        name: "three-way (REQ/ACK)".into(),
-        points: sizes
-            .iter()
-            .map(|&s| {
-                (s, micro::latency_us(&Variant::Sovia(SoviaConfig::reqack()), s, 30))
-            })
-            .collect(),
-    };
-    vec![two_way, three_way]
+pub fn handshake_comparison(sizes: &[usize], threads: usize) -> Vec<Series> {
+    // Flatten the 2 × sizes grid (handshake-major) into one job list.
+    let configs = [SoviaConfig::single(), SoviaConfig::reqack()];
+    let jobs: Vec<(&SoviaConfig, usize)> = configs
+        .iter()
+        .flat_map(|c| sizes.iter().map(move |&s| (c, s)))
+        .collect();
+    let results = runner::par_map(&jobs, threads, |_, &(c, s)| {
+        micro::latency_us(&Variant::Sovia(c.clone()), s, 30)
+    });
+    ["two-way (SOVIA)", "three-way (REQ/ACK)"]
+        .iter()
+        .enumerate()
+        .map(|(ci, name)| Series {
+            name: (*name).into(),
+            points: sizes
+                .iter()
+                .enumerate()
+                .map(|(si, &s)| (s, results[ci * sizes.len() + si]))
+                .collect(),
+        })
+        .collect()
 }
 
 /// Latency cost of the handler thread as a function of message size: the
 /// SOVIA_HANDLER minus SOVIA_SINGLE gap (the paper: "more than 15 µsec").
-pub fn handler_gap_us(sizes: &[usize]) -> Series {
+pub fn handler_gap_us(sizes: &[usize], threads: usize) -> Series {
+    // Flatten the 2 × sizes grid (config-major: SINGLE then HANDLER).
+    let configs = [SoviaConfig::single(), SoviaConfig::handler()];
+    let jobs: Vec<(&SoviaConfig, usize)> = configs
+        .iter()
+        .flat_map(|c| sizes.iter().map(move |&s| (c, s)))
+        .collect();
+    let results = runner::par_map(&jobs, threads, |_, &(c, s)| {
+        micro::latency_us(&Variant::Sovia(c.clone()), s, 30)
+    });
     Series {
         name: "handler-thread latency penalty".to_string(),
         points: sizes
             .iter()
-            .map(|&s| {
-                let single =
-                    micro::latency_us(&Variant::Sovia(SoviaConfig::single()), s, 30);
-                let handler =
-                    micro::latency_us(&Variant::Sovia(SoviaConfig::handler()), s, 30);
-                (s, handler - single)
-            })
+            .enumerate()
+            .map(|(si, &s)| (s, results[sizes.len() + si] - results[si]))
             .collect(),
     }
 }

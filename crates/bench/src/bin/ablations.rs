@@ -1,23 +1,30 @@
 //! Design-choice ablations (window size, ACK threshold, copy threshold,
 //! handler-thread penalty).
+//!
+//!   cargo run -p bench --release --bin ablations [-- --threads N]
+//!
+//! `--threads` (or `SOVIA_BENCH_THREADS`) caps concurrent simulations;
+//! the output is byte-identical at any thread count.
 
 fn main() {
-    let w = bench::ablate::window_sweep(2048, &[1, 2, 4, 8, 16, 32, 64]);
+    let threads = bench::runner::resolve_threads(bench::runner::cli_threads("ablations"));
+    let w = bench::ablate::window_sweep(2048, &[1, 2, 4, 8, 16, 32, 64], threads);
     println!("# Ablation: window size w (bandwidth at 2KB messages, Mbps)");
     for (x, v) in &w.points {
         println!("  w={x:<4} {v:>8.1}");
     }
-    let t = bench::ablate::ack_threshold_sweep(2048, &[1, 2, 4, 8, 16, 24]);
+    let t = bench::ablate::ack_threshold_sweep(2048, &[1, 2, 4, 8, 16, 24], threads);
     println!("# Ablation: delayed-ACK threshold t (bandwidth at 2KB, Mbps; w=32)");
     for (x, v) in &t.points {
         println!("  t={x:<4} {v:>8.1}");
     }
-    let c = bench::ablate::copy_threshold_sweep(2048, &[256, 512, 1024, 2048, 4096, 8192]);
+    let c =
+        bench::ablate::copy_threshold_sweep(2048, &[256, 512, 1024, 2048, 4096, 8192], threads);
     println!("# Ablation: copy-vs-register threshold (latency of 2KB messages, usec)");
     for (x, v) in &c.points {
         println!("  thr={x:<6} {v:>8.1}");
     }
-    let hs = bench::ablate::handshake_comparison(&[4, 256, 2048]);
+    let hs = bench::ablate::handshake_comparison(&[4, 256, 2048], threads);
     println!("# Ablation: two-way vs REQ/ACK three-way handshake (one-way latency, usec)");
     for series in &hs {
         print!("  {:<22}", series.name);
@@ -26,7 +33,7 @@ fn main() {
         }
         println!();
     }
-    let h = bench::ablate::handler_gap_us(&[4, 256, 1024, 4096]);
+    let h = bench::ablate::handler_gap_us(&[4, 256, 1024, 4096], threads);
     println!("# Ablation: handler-thread latency penalty vs message size (usec)");
     for (x, v) in &h.points {
         println!("  size={x:<6} {v:>8.1}");

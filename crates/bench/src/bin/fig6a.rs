@@ -1,15 +1,26 @@
 //! Regenerate Figure 6(a): latency on simulated cLAN.
+//!
+//!   cargo run -p bench --release --bin fig6a [-- --threads N]
+//!
+//! `--threads` (or `SOVIA_BENCH_THREADS`) caps concurrent simulations;
+//! the output is byte-identical at any thread count.
 
 fn main() {
+    let threads = bench::runner::resolve_threads(bench::runner::cli_threads("fig6a"));
     let sizes = bench::figures::FIG6A_SIZES;
-    let series = bench::figures::run_fig6a(&sizes);
+    let outcome = bench::figures::run_fig6a_sweep(
+        &sizes,
+        bench::figures::LATENCY_ROUNDS,
+        threads,
+        dsim::SchedConfig::default(),
+    );
     print!(
         "{}",
         bench::micro::render_table(
             "Figure 6(a): Latency (Giganet cLAN1000, simulated)",
             "usec, one-way",
             &sizes,
-            &series
+            &outcome.series
         )
     );
 }

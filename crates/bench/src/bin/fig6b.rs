@@ -1,15 +1,26 @@
 //! Regenerate Figure 6(b): bandwidth on simulated cLAN.
+//!
+//!   cargo run -p bench --release --bin fig6b [-- --threads N]
+//!
+//! `--threads` (or `SOVIA_BENCH_THREADS`) caps concurrent simulations;
+//! the output is byte-identical at any thread count.
 
 fn main() {
+    let threads = bench::runner::resolve_threads(bench::runner::cli_threads("fig6b"));
     let sizes = bench::figures::FIG6B_SIZES;
-    let series = bench::figures::run_fig6b(&sizes);
+    let outcome = bench::figures::run_fig6b_sweep(
+        &sizes,
+        bench::figures::bandwidth_total,
+        threads,
+        dsim::SchedConfig::default(),
+    );
     print!(
         "{}",
         bench::micro::render_table(
             "Figure 6(b): Bandwidth (Giganet cLAN1000, simulated)",
             "Mbps",
             &sizes,
-            &series
+            &outcome.series
         )
     );
 }

@@ -1,8 +1,14 @@
 //! Regenerate Figure 7: average elapsed time for a single RPC.
+//!
+//!   cargo run -p bench --release --bin fig7 [-- --threads N]
+//!
+//! `--threads` (or `SOVIA_BENCH_THREADS`) caps concurrent simulations;
+//! the output is byte-identical at any thread count.
 
 fn main() {
+    let threads = bench::runner::resolve_threads(bench::runner::cli_threads("fig7"));
     let sizes = bench::fig7::FIG7_SIZES;
-    let series = bench::fig7::run_fig7(&sizes);
+    let series = bench::fig7::run_fig7_with(&sizes, threads);
     print!(
         "{}",
         bench::micro::render_table(

@@ -1,19 +1,28 @@
 //! Host-performance report for the simulation substrate.
 //!
-//! Runs two fixed workloads A/B — direct token handoff off vs on — and
-//! writes `BENCH_substrate.json` with wall-clock time, event throughput,
-//! and the dispatch-path breakdown ([`dsim::SchedStats`]). Virtual-time
-//! results are asserted identical between the two configurations; only
-//! host execution differs.
+//! Two report sections, both written to `BENCH_substrate.json`:
 //!
-//!   cargo run -p bench --release --bin perf_report [-- --out PATH]
+//! * **Fast-path A/B** — two fixed workloads run with direct token
+//!   handoff off vs on, recording wall-clock time, event throughput, and
+//!   the dispatch-path breakdown ([`dsim::SchedStats`]). Virtual-time
+//!   results are asserted identical between the two configurations.
+//! * **`suite_fig6_sweep`** — the full Figure 6(a)+6(b) point set run
+//!   through the parallel runner at `threads = 1` and `threads = N`
+//!   (default: available parallelism), recording suite wall-clock,
+//!   speedup, and aggregate event throughput. The rendered tables and
+//!   per-simulation event counts are asserted byte-identical across the
+//!   two thread counts: parallelism is host-side only (DESIGN.md §7).
+//!
+//!   cargo run -p bench --release --bin perf_report [-- --out PATH] [--threads N]
 //!
 //! `scripts/bench.sh` wraps this and compares against the committed
-//! baseline.
+//! baseline, matching scenarios by name.
 
 use std::sync::Arc;
 use std::time::Instant;
 
+use bench::figures::{self, SweepOutcome};
+use bench::runner;
 use dsim::sync::SimQueue;
 use dsim::{SchedConfig, SchedStats, Simulation};
 use sovia::SoviaConfig;
@@ -23,7 +32,9 @@ const PINGPONG_ROUNDS: u32 = 20_000;
 /// Message size / total bytes for the Figure 6(b)-style stream workload.
 const STREAM_MSG: usize = 32 * 1024;
 const STREAM_TOTAL: usize = 32 * 1024 * 1024;
-/// Timed repetitions per measurement (minimum taken).
+/// Timed repetitions per A/B measurement (minimum taken). The suite
+/// sweep runs once per thread count: at a couple of minutes per pass it
+/// is long enough to be stable.
 const REPS: usize = 3;
 
 /// One measured side of an A/B pair.
@@ -126,13 +137,13 @@ fn sovia_stream(sched: SchedConfig) -> (f64, SchedStats) {
     )
 }
 
-fn scenario(
+/// Check an A/B pair's virtual-time identity and render its JSON block.
+fn render_scenario(
     name: &str,
+    off: &Measured,
+    on: &Measured,
     extra_fn: impl Fn(&Measured) -> Vec<(&'static str, f64)>,
-    workload: impl Fn(SchedConfig) -> (f64, SchedStats),
-) -> (String, Measured, Measured) {
-    let off = measure(SchedConfig { direct_handoff: false }, &workload);
-    let on = measure(SchedConfig { direct_handoff: true }, &workload);
+) -> String {
     assert_eq!(
         off.result, on.result,
         "{name}: fast path changed a virtual-time result"
@@ -141,17 +152,17 @@ fn scenario(
         off.stats.events_processed, on.stats.events_processed,
         "{name}: fast path changed the event count"
     );
-    let roundtrip_ratio = off.stats.coordinator_wakes as f64
-        / (on.stats.coordinator_wakes.max(1)) as f64;
+    let roundtrip_ratio =
+        off.stats.coordinator_wakes as f64 / (on.stats.coordinator_wakes.max(1)) as f64;
     let wall_delta_pct = (off.wall_ms - on.wall_ms) / off.wall_ms * 100.0;
     let mut json = format!("    {{\n      \"name\": \"{name}\",\n");
     json.push_str(&format!(
         "      \"fast_path_off\": {},\n",
-        off.json("      ", &extra_fn(&off))
+        off.json("      ", &extra_fn(off))
     ));
     json.push_str(&format!(
         "      \"fast_path_on\": {},\n",
-        on.json("      ", &extra_fn(&on))
+        on.json("      ", &extra_fn(on))
     ));
     json.push_str(&format!(
         "      \"coordinator_roundtrip_reduction_x\": {roundtrip_ratio:.2},\n"
@@ -164,15 +175,123 @@ fn scenario(
          coordinator round-trips {} -> {} ({roundtrip_ratio:.1}x fewer)",
         off.wall_ms, on.wall_ms, off.stats.coordinator_wakes, on.stats.coordinator_wakes,
     );
-    (json, off, on)
+    json
+}
+
+/// One timed pass of the full Figure 6(a)+6(b) point set.
+struct SuitePass {
+    wall_ms: f64,
+    threads: usize,
+    /// Aggregate scheduler counters, summed across every simulation.
+    stats: SchedStats,
+    /// Per-simulation event counts, job order (the determinism check).
+    per_sim_events: Vec<u64>,
+    /// The rendered figure tables (the byte-identity check).
+    rendered: String,
+}
+
+/// Run the whole Figure 6 suite on at most `threads` concurrent
+/// simulations and render both tables.
+fn run_suite(threads: usize) -> SuitePass {
+    let sched = SchedConfig::default();
+    let t0 = Instant::now();
+    let a = figures::run_fig6a_sweep(
+        &figures::FIG6A_SIZES,
+        figures::LATENCY_ROUNDS,
+        threads,
+        sched,
+    );
+    let b = figures::run_fig6b_sweep(
+        &figures::FIG6B_SIZES,
+        figures::bandwidth_total,
+        threads,
+        sched,
+    );
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let rendered = format!(
+        "{}{}",
+        bench::micro::render_table(
+            "Figure 6(a): Latency (Giganet cLAN1000, simulated)",
+            "usec, one-way",
+            &figures::FIG6A_SIZES,
+            &a.series
+        ),
+        bench::micro::render_table(
+            "Figure 6(b): Bandwidth (Giganet cLAN1000, simulated)",
+            "Mbps",
+            &figures::FIG6B_SIZES,
+            &b.series
+        )
+    );
+    let per_sim_events = [&a, &b]
+        .iter()
+        .flat_map(|o: &&SweepOutcome| o.sim_stats.iter().map(|s| s.events_processed))
+        .collect();
+    SuitePass {
+        wall_ms,
+        threads,
+        stats: a.total_stats() + b.total_stats(),
+        per_sim_events,
+        rendered,
+    }
+}
+
+fn suite_pass_json(p: &SuitePass, indent: &str) -> String {
+    format!(
+        "{{\n{indent}  \"threads\": {},\n{indent}  \"wall_ms\": {:.3},\n\
+         {indent}  \"events_processed\": {},\n{indent}  \"aggregate_events_per_sec\": {:.0},\n\
+         {indent}  \"direct_handoffs\": {},\n{indent}  \"self_wakes\": {},\n\
+         {indent}  \"coordinator_roundtrips\": {}\n{indent}}}",
+        p.threads,
+        p.wall_ms,
+        p.stats.events_processed,
+        p.stats.events_processed as f64 / (p.wall_ms / 1e3),
+        p.stats.direct_handoffs,
+        p.stats.self_wakes,
+        p.stats.coordinator_wakes,
+    )
+}
+
+/// The suite-scaling scenario: full Figure 6 point set at `threads = 1`
+/// vs `threads = par_threads`, with the host-side-only invariant checked.
+fn render_suite_scenario(par_threads: usize) -> String {
+    let sims = figures::fig6a_variants().len() * figures::FIG6A_SIZES.len()
+        + figures::fig6b_variants().len() * figures::FIG6B_SIZES.len();
+    let seq = run_suite(1);
+    let par = run_suite(par_threads);
+    // The DESIGN.md §7 invariant, extended: parallelism is host-side
+    // only. Every rendered byte and per-simulation event count must be
+    // identical at any thread count.
+    assert_eq!(
+        seq.rendered, par.rendered,
+        "suite_fig6_sweep: thread count changed a rendered table"
+    );
+    assert_eq!(
+        seq.per_sim_events, par.per_sim_events,
+        "suite_fig6_sweep: thread count changed a per-simulation event count"
+    );
+    let speedup = seq.wall_ms / par.wall_ms;
+    eprintln!(
+        "suite_fig6_sweep: {sims} sims, wall {:.0} ms (threads=1) -> {:.0} ms (threads={}), \
+         speedup {speedup:.2}x",
+        seq.wall_ms, par.wall_ms, par.threads,
+    );
+    format!(
+        "    {{\n      \"name\": \"suite_fig6_sweep\",\n      \"simulations\": {sims},\n\
+               \"seq\": {},\n      \"par\": {},\n      \"suite_speedup_x\": {speedup:.2}\n    }}",
+        suite_pass_json(&seq, "      "),
+        suite_pass_json(&par, "      "),
+    )
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = runner::resolve_threads(runner::take_threads_arg(&mut args));
     let mut out_path = String::from("BENCH_substrate.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
-            "--out" => match args.next() {
+            "--out" => match it.next() {
                 Some(p) => out_path = p,
                 None => {
                     eprintln!("error: --out requires a path");
@@ -180,34 +299,53 @@ fn main() {
                 }
             },
             other => {
-                eprintln!("error: unknown argument {other:?} (supported: --out PATH)");
+                eprintln!(
+                    "error: unknown argument {other:?} (supported: --out PATH, --threads N)"
+                );
                 std::process::exit(2);
             }
         }
     }
 
+    // The A/B grid — scenario × {off, on} — flattened into one job list
+    // and run through the same runner as the sweeps. Timed A/B jobs are
+    // pinned to the sequential path (cap 1): running them concurrently
+    // would measure host contention, not the scheduler. The scenario
+    // that measures parallelism is `suite_fig6_sweep`, below.
+    let ab_jobs: [(&str, bool); 4] = [
+        ("handoff_pingpong", false),
+        ("handoff_pingpong", true),
+        ("sovia_stream_fig6b", false),
+        ("sovia_stream_fig6b", true),
+    ];
+    let measured = runner::par_map(&ab_jobs, 1, |_, &(name, handoff_on)| {
+        let sched = SchedConfig {
+            direct_handoff: handoff_on,
+        };
+        match name {
+            "handoff_pingpong" => measure(sched, pingpong),
+            _ => measure(sched, sovia_stream),
+        }
+    });
+    let (pp_off, pp_on, st_off, st_on) = (measured[0], measured[1], measured[2], measured[3]);
+
     let handoffs = f64::from(PINGPONG_ROUNDS) * 2.0;
-    let (pp_json, pp_off, pp_on) = scenario(
-        "handoff_pingpong",
-        |m| vec![("ns_per_handoff", m.wall_ms * 1e6 / handoffs)],
-        pingpong,
-    );
-    let (st_json, st_off, st_on) = scenario(
-        "sovia_stream_fig6b",
-        |m| {
-            vec![
-                ("sim_bandwidth_mbps", m.result),
-                (
-                    "sim_bytes_per_wall_sec",
-                    STREAM_TOTAL as f64 / (m.wall_ms / 1e3),
-                ),
-            ]
-        },
-        sovia_stream,
-    );
+    let pp_json = render_scenario("handoff_pingpong", &pp_off, &pp_on, |m| {
+        vec![("ns_per_handoff", m.wall_ms * 1e6 / handoffs)]
+    });
+    let st_json = render_scenario("sovia_stream_fig6b", &st_off, &st_on, |m| {
+        vec![
+            ("sim_bandwidth_mbps", m.result),
+            (
+                "sim_bytes_per_wall_sec",
+                STREAM_TOTAL as f64 / (m.wall_ms / 1e3),
+            ),
+        ]
+    });
+    let suite_json = render_suite_scenario(threads);
 
     // Acceptance summary: best coordinator round-trip reduction and best
-    // wall-clock reduction across scenarios.
+    // wall-clock reduction across the A/B scenarios.
     let best_rt = [(&pp_off, &pp_on), (&st_off, &st_on)]
         .iter()
         .map(|(o, n)| o.stats.coordinator_wakes as f64 / n.stats.coordinator_wakes.max(1) as f64)
@@ -219,7 +357,7 @@ fn main() {
 
     let json = format!(
         "{{\n  \"pingpong_rounds\": {PINGPONG_ROUNDS},\n  \"stream_msg_bytes\": {STREAM_MSG},\n  \
-         \"stream_total_bytes\": {STREAM_TOTAL},\n  \"reps\": {REPS},\n  \"scenarios\": [\n{pp_json},\n{st_json}\n  ],\n  \
+         \"stream_total_bytes\": {STREAM_TOTAL},\n  \"reps\": {REPS},\n  \"scenarios\": [\n{pp_json},\n{st_json},\n{suite_json}\n  ],\n  \
          \"best_coordinator_roundtrip_reduction_x\": {best_rt:.2},\n  \
          \"best_wall_clock_reduction_pct\": {best_wall:.1}\n}}\n"
     );

@@ -1,7 +1,13 @@
 //! Regenerate Table 1: FTP file-transfer performance.
+//!
+//!   cargo run -p bench --release --bin table1 [-- --threads N]
+//!
+//! `--threads` (or `SOVIA_BENCH_THREADS`) caps concurrent simulations;
+//! the output is byte-identical at any thread count.
 
 fn main() {
+    let threads = bench::runner::resolve_threads(bench::runner::cli_threads("table1"));
     let sizes = bench::table1::FILE_SIZES;
-    let rows = bench::table1::run_table1(&sizes);
+    let rows = bench::table1::run_table1_with(&sizes, threads);
     print!("{}", bench::table1::render(&rows, &sizes));
 }

@@ -99,20 +99,35 @@ fn do_call(ctx: &dsim::SimCtx, clnt: &apps::rpc::client::Clnt, arg: &str, arg_le
     }
 }
 
-/// Run the whole figure.
+/// Run the whole figure (thread count from `SOVIA_BENCH_THREADS` /
+/// available parallelism).
 pub fn run_fig7(sizes: &[usize]) -> Vec<Series> {
-    [
+    run_fig7_with(sizes, crate::runner::default_threads())
+}
+
+/// Run the whole figure on at most `threads` concurrent simulations:
+/// each platform × argument-size point is an independent simulation.
+pub fn run_fig7_with(sizes: &[usize], threads: usize) -> Vec<Series> {
+    let platforms = [
         RpcPlatform::TcpFastEthernet,
         RpcPlatform::TcpClan,
         RpcPlatform::SoviaClan,
-    ]
-    .iter()
-    .map(|&p| Series {
-        name: p.label().to_string(),
-        points: sizes
-            .iter()
-            .map(|&s| (s, rpc_elapsed_us(p, s)))
-            .collect(),
-    })
-    .collect()
+    ];
+    let jobs: Vec<(RpcPlatform, usize)> = platforms
+        .iter()
+        .flat_map(|&p| sizes.iter().map(move |&s| (p, s)))
+        .collect();
+    let elapsed = crate::runner::par_map(&jobs, threads, |_, &(p, s)| rpc_elapsed_us(p, s));
+    platforms
+        .iter()
+        .enumerate()
+        .map(|(pi, &p)| Series {
+            name: p.label().to_string(),
+            points: sizes
+                .iter()
+                .enumerate()
+                .map(|(si, &s)| (s, elapsed[pi * sizes.len() + si]))
+                .collect(),
+        })
+        .collect()
 }

@@ -1,8 +1,15 @@
 //! The experiment definitions, one per table/figure of the paper.
+//!
+//! Every measurement point is a fresh, independent simulation, so the
+//! sweeps flatten their variant × size grids into job lists and run them
+//! through [`crate::runner`]. Output is byte-identical at any thread
+//! count (the runner collects by input index).
 
+use dsim::{SchedConfig, SchedStats};
 use sovia::SoviaConfig;
 
 use crate::micro::{self, Series, Variant};
+use crate::runner;
 
 /// Message sizes of Figure 6(a).
 pub const FIG6A_SIZES: [usize; 11] = [4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
@@ -52,30 +59,107 @@ pub fn fig6b_variants() -> Vec<Variant> {
     ]
 }
 
-/// Run Figure 6(a): latency vs message size.
-pub fn run_fig6a(sizes: &[usize]) -> Vec<Series> {
-    fig6a_variants()
+/// Outcome of a Figure 6 sweep: the figure's series plus the scheduler
+/// counters of every simulation, in job order (variant-major: job
+/// `vi * sizes.len() + si` is variant `vi` at size index `si`).
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// One series per variant, in legend order.
+    pub series: Vec<Series>,
+    /// Per-simulation scheduler counters, job order.
+    pub sim_stats: Vec<SchedStats>,
+}
+
+impl SweepOutcome {
+    /// Sum of the per-simulation scheduler counters.
+    pub fn total_stats(&self) -> SchedStats {
+        self.sim_stats
+            .iter()
+            .fold(SchedStats::default(), |acc, s| acc + *s)
+    }
+}
+
+/// Assemble `(variant, size)` grid results (job order, variant-major)
+/// back into per-variant series.
+fn assemble(
+    variants: &[Variant],
+    sizes: &[usize],
+    results: Vec<(f64, SchedStats)>,
+) -> SweepOutcome {
+    let series = variants
         .iter()
-        .map(|v| Series {
+        .enumerate()
+        .map(|(vi, v)| Series {
             name: v.label().to_string(),
             points: sizes
                 .iter()
-                .map(|&s| (s, micro::latency_us(v, s, LATENCY_ROUNDS)))
+                .enumerate()
+                .map(|(si, &s)| (s, results[vi * sizes.len() + si].0))
                 .collect(),
         })
-        .collect()
+        .collect();
+    SweepOutcome {
+        series,
+        sim_stats: results.into_iter().map(|(_, st)| st).collect(),
+    }
+}
+
+/// Run the Figure 6(a) grid on at most `threads` concurrent simulations.
+pub fn run_fig6a_sweep(
+    sizes: &[usize],
+    rounds: u32,
+    threads: usize,
+    sched: SchedConfig,
+) -> SweepOutcome {
+    let variants = fig6a_variants();
+    let jobs: Vec<(&Variant, usize)> = variants
+        .iter()
+        .flat_map(|v| sizes.iter().map(move |&s| (v, s)))
+        .collect();
+    let results = runner::par_map(&jobs, threads, |_, &(v, s)| {
+        micro::latency_with_sched(v, s, rounds, sched)
+    });
+    assemble(&variants, sizes, results)
+}
+
+/// Run the Figure 6(b) grid on at most `threads` concurrent simulations.
+/// `total` maps a message size to the bytes streamed at that point
+/// (normally [`bandwidth_total`]).
+pub fn run_fig6b_sweep(
+    sizes: &[usize],
+    total: impl Fn(usize) -> usize + Sync,
+    threads: usize,
+    sched: SchedConfig,
+) -> SweepOutcome {
+    let variants = fig6b_variants();
+    let jobs: Vec<(&Variant, usize)> = variants
+        .iter()
+        .flat_map(|v| sizes.iter().map(move |&s| (v, s)))
+        .collect();
+    let results = runner::par_map(&jobs, threads, |_, &(v, s)| {
+        micro::bandwidth_with_sched(v, s, total(s), sched)
+    });
+    assemble(&variants, sizes, results)
+}
+
+/// Run Figure 6(a): latency vs message size.
+pub fn run_fig6a(sizes: &[usize]) -> Vec<Series> {
+    run_fig6a_sweep(
+        sizes,
+        LATENCY_ROUNDS,
+        runner::default_threads(),
+        SchedConfig::default(),
+    )
+    .series
 }
 
 /// Run Figure 6(b): bandwidth vs message size.
 pub fn run_fig6b(sizes: &[usize]) -> Vec<Series> {
-    fig6b_variants()
-        .iter()
-        .map(|v| Series {
-            name: v.label().to_string(),
-            points: sizes
-                .iter()
-                .map(|&s| (s, micro::bandwidth_mbps(v, s, bandwidth_total(s))))
-                .collect(),
-        })
-        .collect()
+    run_fig6b_sweep(
+        sizes,
+        bandwidth_total,
+        runner::default_threads(),
+        SchedConfig::default(),
+    )
+    .series
 }

@@ -8,7 +8,9 @@
 //! * [`fig7`] — the RPC elapsed-time figure;
 //! * [`ablate`] — parameter sweeps for the design choices (w, t, the
 //!   2 KB copy threshold, the handler-thread penalty);
-//! * [`micro`] — the underlying ping-pong / streaming measurement engine.
+//! * [`micro`] — the underlying ping-pong / streaming measurement engine;
+//! * [`runner`] — the bounded parallel runner the sweeps go through
+//!   (every measurement point is a fresh, independent simulation).
 //!
 //! Binaries `fig6a`, `fig6b`, `table1`, `fig7` and `ablations` print the
 //! paper-style tables; Criterion benches wrap representative points.
@@ -19,4 +21,5 @@ pub mod ablate;
 pub mod fig7;
 pub mod figures;
 pub mod micro;
+pub mod runner;
 pub mod table1;

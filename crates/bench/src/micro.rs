@@ -63,29 +63,51 @@ const PORT: u16 = 9000;
 
 /// Half mean round-trip time for `size`-byte messages, in µs.
 pub fn latency_us(variant: &Variant, size: usize, rounds: u32) -> f64 {
-    match variant {
-        Variant::NativeVia => native_via_latency_us(size, rounds),
-        Variant::TcpLane => socket_latency_us(None, size, rounds),
-        Variant::Sovia(config) => socket_latency_us(Some(config.clone()), size, rounds),
-    }
+    latency_with_sched(variant, size, rounds, SchedConfig::default()).0
 }
 
 /// Unidirectional bandwidth in Mb/s streaming `total` bytes in
 /// `size`-byte sends.
 pub fn bandwidth_mbps(variant: &Variant, size: usize, total: usize) -> f64 {
+    bandwidth_with_sched(variant, size, total, SchedConfig::default()).0
+}
+
+/// [`latency_us`] under an explicit scheduler configuration, also
+/// returning the per-simulation scheduler counters (the parallel-suite
+/// determinism tests and `perf_report` aggregate these across sims).
+pub fn latency_with_sched(
+    variant: &Variant,
+    size: usize,
+    rounds: u32,
+    sched: SchedConfig,
+) -> (f64, SchedStats) {
     match variant {
-        Variant::NativeVia => native_via_bandwidth_mbps(size, total),
-        Variant::TcpLane => socket_bandwidth_mbps(None, size, total),
-        Variant::Sovia(config) => socket_bandwidth_mbps(Some(config.clone()), size, total),
+        Variant::NativeVia => native_via_latency_with_sched(size, rounds, sched),
+        Variant::TcpLane => socket_latency_with_sched(None, size, rounds, sched),
+        Variant::Sovia(config) => {
+            socket_latency_with_sched(Some(config.clone()), size, rounds, sched)
+        }
+    }
+}
+
+/// [`bandwidth_mbps`] under an explicit scheduler configuration, with
+/// the per-simulation scheduler counters.
+pub fn bandwidth_with_sched(
+    variant: &Variant,
+    size: usize,
+    total: usize,
+    sched: SchedConfig,
+) -> (f64, SchedStats) {
+    match variant {
+        Variant::NativeVia => native_via_bandwidth_with_sched(size, total, sched),
+        Variant::TcpLane => socket_bandwidth_with_sched(None, size, total, sched),
+        Variant::Sovia(config) => {
+            socket_bandwidth_with_sched(Some(config.clone()), size, total, sched)
+        }
     }
 }
 
 // ----- sockets-based (TCP / SOVIA) ------------------------------------------
-
-/// `config: None` = TCP over LANE; `Some` = SOVIA with that config.
-fn socket_latency_us(config: Option<SoviaConfig>, size: usize, rounds: u32) -> f64 {
-    socket_latency_with_sched(config, size, rounds, SchedConfig::default()).0
-}
 
 /// The Figure 6(a) ping-pong workload under an explicit scheduler
 /// configuration. Returns `(µs, scheduler stats)`; the determinism tests
@@ -165,10 +187,6 @@ pub fn socket_latency_with_sched(
     sim.run().expect("latency simulation failed");
     let v = *out.lock();
     (v, sim.sched_stats())
-}
-
-fn socket_bandwidth_mbps(config: Option<SoviaConfig>, size: usize, total: usize) -> f64 {
-    socket_bandwidth_with_sched(config, size, total, SchedConfig::default()).0
 }
 
 /// The Figure 6(b) stream workload under an explicit scheduler
@@ -267,8 +285,12 @@ pub fn socket_bandwidth_with_sched(
 
 // ----- native VIA (raw VIPL) --------------------------------------------------
 
-fn native_via_latency_us(size: usize, rounds: u32) -> f64 {
-    let mut sim = Simulation::new();
+fn native_via_latency_with_sched(
+    size: usize,
+    rounds: u32,
+    sched: SchedConfig,
+) -> (f64, SchedStats) {
+    let mut sim = Simulation::with_config(sched);
     let (m0, m1) = testbed::clan_pair(&sim.handle());
     let n0 = ViaNic::of(&m0);
     let n1 = ViaNic::of(&m1);
@@ -331,11 +353,15 @@ fn native_via_latency_us(size: usize, rounds: u32) -> f64 {
     }
     sim.run().expect("native VIA latency simulation failed");
     let v = *out.lock();
-    v
+    (v, sim.sched_stats())
 }
 
-fn native_via_bandwidth_mbps(size: usize, total: usize) -> f64 {
-    let mut sim = Simulation::new();
+fn native_via_bandwidth_with_sched(
+    size: usize,
+    total: usize,
+    sched: SchedConfig,
+) -> (f64, SchedStats) {
+    let mut sim = Simulation::with_config(sched);
     let (m0, m1) = testbed::clan_pair(&sim.handle());
     let n0 = ViaNic::of(&m0);
     let n1 = ViaNic::of(&m1);
@@ -408,7 +434,7 @@ fn native_via_bandwidth_mbps(size: usize, total: usize) -> f64 {
     }
     sim.run().expect("native VIA bandwidth simulation failed");
     let v = *out.lock();
-    v
+    (v, sim.sched_stats())
 }
 
 /// Render a figure-style table: one row per size, one column per series.

@@ -1,0 +1,176 @@
+//! A bounded, deterministic-ordering parallel runner for independent
+//! simulation jobs.
+//!
+//! The experiment suite is embarrassingly parallel: every measurement
+//! point runs in a **fresh** [`dsim::Simulation`] (no cross-talk between
+//! points), so points can execute concurrently on host threads without
+//! changing anything simulated. [`par_map`] executes a slice of such jobs
+//! on a bounded pool of `std::thread::scope` workers and writes each
+//! result into its input-index slot, so the collected output is
+//! byte-identical to the sequential loop regardless of thread count or
+//! completion order.
+//!
+//! The concurrency cap counts **jobs in flight** (simulations), not OS
+//! threads: each `Simulation` spawns one host thread per simulated
+//! process, but the token-passing scheduler keeps exactly one of them
+//! runnable at any instant, so one job ≈ one runnable host thread.
+//!
+//! Cap resolution order: explicit `--threads N` on a bench binary >
+//! the `SOVIA_BENCH_THREADS` environment variable >
+//! `std::thread::available_parallelism()`. A cap of 1 degrades to the
+//! exact sequential path — no worker threads are spawned at all.
+//!
+//! **Invariant (DESIGN.md §7):** parallelism is host-side only. Every
+//! virtual-time number, event count, and rendered table byte is identical
+//! at any thread count; the runner only changes host wall-clock.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Host parallelism as reported by the OS (1 when unknown).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The default jobs-in-flight cap: `SOVIA_BENCH_THREADS` when set to a
+/// positive integer, otherwise [`available_threads`].
+pub fn default_threads() -> usize {
+    match std::env::var("SOVIA_BENCH_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!(
+                    "warning: ignoring SOVIA_BENCH_THREADS={v:?} (want a positive integer)"
+                );
+                available_threads()
+            }
+        },
+        Err(_) => available_threads(),
+    }
+}
+
+/// Resolve the cap from an optional explicit CLI value (`--threads N`),
+/// falling back to [`default_threads`].
+pub fn resolve_threads(cli: Option<usize>) -> usize {
+    match cli {
+        Some(n) if n >= 1 => n,
+        _ => default_threads(),
+    }
+}
+
+/// Extract `--threads N` (or `--threads=N`) from a binary's argument
+/// list, removing the consumed tokens. Exits with status 2 on a
+/// malformed value, like the other bench CLI errors.
+pub fn take_threads_arg(args: &mut Vec<String>) -> Option<usize> {
+    let parse = |v: &str| -> usize {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: --threads requires a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        }
+    };
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        if pos + 1 >= args.len() {
+            eprintln!("error: --threads requires a value");
+            std::process::exit(2);
+        }
+        let v = args.remove(pos + 1);
+        args.remove(pos);
+        return Some(parse(&v));
+    }
+    if let Some(pos) = args.iter().position(|a| a.starts_with("--threads=")) {
+        let a = args.remove(pos);
+        return Some(parse(&a["--threads=".len()..]));
+    }
+    None
+}
+
+/// Parse a figure binary's command line, where `--threads N` is the only
+/// accepted argument. Exits with status 2 on anything else.
+pub fn cli_threads(bin: &str) -> Option<usize> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let t = take_threads_arg(&mut args);
+    if let Some(extra) = args.first() {
+        eprintln!("error: unknown argument {extra:?} (usage: {bin} [--threads N])");
+        std::process::exit(2);
+    }
+    t
+}
+
+/// Run `f` over every job on at most `threads` concurrent workers,
+/// collecting results **in input order**.
+///
+/// * `threads <= 1` (or a single job) takes the exact sequential path:
+///   the jobs run on the calling thread, in order, with no pool.
+/// * Otherwise `min(threads, jobs.len())` scoped workers claim indices
+///   from a shared counter and write each result into its index slot;
+///   completion order never affects the output.
+/// * If a job panics, the panic is re-raised on the caller once the
+///   pool drains: remaining workers stop claiming new jobs (each
+///   finishes at most its current one), so propagation never hangs.
+pub fn par_map<T, R, F>(jobs: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = threads.min(jobs.len());
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (next, abort, slots, first_panic, f) =
+                (&next, &abort, &slots, &first_panic, &f);
+            std::thread::Builder::new()
+                .name(format!("bench-w{w}"))
+                .spawn_scoped(scope, move || loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    match panic::catch_unwind(AssertUnwindSafe(|| f(i, &jobs[i]))) {
+                        Ok(r) => *slots[i].lock() = Some(r),
+                        Err(payload) => {
+                            abort.store(true, Ordering::Relaxed);
+                            let mut g = first_panic.lock();
+                            if g.is_none() {
+                                *g = Some(payload);
+                            }
+                            break;
+                        }
+                    }
+                })
+                .expect("runner: failed to spawn worker thread");
+        }
+    });
+    if let Some(payload) = first_panic.into_inner() {
+        panic::resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("runner: job produced no result"))
+        .collect()
+}
+
+/// [`par_map`] for jobs run only for their side effects.
+pub fn par_run<T, F>(jobs: &[T], threads: usize, f: F)
+where
+    T: Sync,
+    F: Fn(usize, &T) + Sync,
+{
+    let _ = par_map(jobs, threads, |i, t| f(i, t));
+}

@@ -168,26 +168,37 @@ pub fn local_copy(file_len: u64) -> Cell {
     v
 }
 
-/// Run the whole table.
+/// Run the whole table (thread count from `SOVIA_BENCH_THREADS` /
+/// available parallelism).
 pub fn run_table1(file_sizes: &[u64]) -> Vec<Row> {
-    [
+    run_table1_with(file_sizes, crate::runner::default_threads())
+}
+
+/// Run the whole table on at most `threads` concurrent simulations:
+/// each platform × file cell is an independent simulation.
+pub fn run_table1_with(file_sizes: &[u64], threads: usize) -> Vec<Row> {
+    let platforms = [
         Platform::TcpFastEthernet,
         Platform::TcpClan,
         Platform::SoviaClan,
         Platform::LocalCopy,
-    ]
-    .iter()
-    .map(|&p| Row {
-        name: p.label().to_string(),
-        cells: file_sizes
-            .iter()
-            .map(|&len| match p {
-                Platform::LocalCopy => local_copy(len),
-                _ => ftp_transfer(p, len),
-            })
-            .collect(),
-    })
-    .collect()
+    ];
+    let jobs: Vec<(Platform, u64)> = platforms
+        .iter()
+        .flat_map(|&p| file_sizes.iter().map(move |&len| (p, len)))
+        .collect();
+    let cells = crate::runner::par_map(&jobs, threads, |_, &(p, len)| match p {
+        Platform::LocalCopy => local_copy(len),
+        _ => ftp_transfer(p, len),
+    });
+    platforms
+        .iter()
+        .enumerate()
+        .map(|(pi, &p)| Row {
+            name: p.label().to_string(),
+            cells: cells[pi * file_sizes.len()..(pi + 1) * file_sizes.len()].to_vec(),
+        })
+        .collect()
 }
 
 /// Render in the paper's format.

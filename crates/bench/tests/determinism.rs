@@ -3,6 +3,7 @@
 //! direct-handoff A/B (the fast path changes *how* events are dispatched,
 //! never *what* they compute).
 
+use bench::figures::{self, SweepOutcome};
 use bench::micro;
 use dsim::SchedConfig;
 use sovia::SoviaConfig;
@@ -68,6 +69,69 @@ fn fig6b_stream_identical_across_fast_path_ab() {
     let (bw2, stats2) = run(ON);
     assert_eq!(bw_on.to_bits(), bw2.to_bits());
     assert_eq!(stats_on, stats2);
+}
+
+/// Assert two sweep passes are bit-identical: rendered table, per-point
+/// virtual-time values, and per-simulation event counts.
+fn assert_sweeps_identical(
+    title: &str,
+    sizes: &[usize],
+    base: &SweepOutcome,
+    other: &SweepOutcome,
+    threads: usize,
+) {
+    assert_eq!(
+        micro::render_table(title, "unit", sizes, &base.series),
+        micro::render_table(title, "unit", sizes, &other.series),
+        "{title}: rendered table drifted at threads={threads}"
+    );
+    for (s_base, s_other) in base.series.iter().zip(&other.series) {
+        assert_eq!(s_base.name, s_other.name);
+        for ((sz_a, v_a), (sz_b, v_b)) in s_base.points.iter().zip(&s_other.points) {
+            assert_eq!(sz_a, sz_b);
+            assert_eq!(
+                v_a.to_bits(),
+                v_b.to_bits(),
+                "{title}: point {}B of {} drifted at threads={threads}",
+                sz_a,
+                s_base.name
+            );
+        }
+    }
+    let events = |o: &SweepOutcome| -> Vec<u64> {
+        o.sim_stats.iter().map(|s| s.events_processed).collect()
+    };
+    assert_eq!(
+        events(base),
+        events(other),
+        "{title}: per-simulation event counts drifted at threads={threads}"
+    );
+}
+
+/// The parallel runner is host-side only: the fig6a sweep is
+/// bit-identical at threads 1, 2, and 8.
+#[test]
+fn fig6a_sweep_identical_across_thread_counts() {
+    let sizes = [4usize, 64];
+    let run = |threads| figures::run_fig6a_sweep(&sizes, 8, threads, ON);
+    let base = run(1);
+    assert!(base.series.iter().all(|s| s.points.iter().all(|&(_, v)| v > 0.0)));
+    for threads in [2, 8] {
+        assert_sweeps_identical("fig6a", &sizes, &base, &run(threads), threads);
+    }
+}
+
+/// Same for the fig6b sweep (bandwidth workload: NIC service threads,
+/// doorbells, payloads in flight).
+#[test]
+fn fig6b_sweep_identical_across_thread_counts() {
+    let sizes = [2048usize];
+    let run = |threads| figures::run_fig6b_sweep(&sizes, |_| 128 * 1024, threads, ON);
+    let base = run(1);
+    assert!(base.series.iter().all(|s| s.points.iter().all(|&(_, v)| v > 0.0)));
+    for threads in [2, 8] {
+        assert_sweeps_identical("fig6b", &sizes, &base, &run(threads), threads);
+    }
 }
 
 #[test]

@@ -42,7 +42,7 @@
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -255,6 +255,38 @@ pub struct SchedStats {
     pub coordinator_wakes: u64,
 }
 
+impl SchedStats {
+    /// Accumulate another simulation's counters into this one (suite-level
+    /// aggregation across many independent simulations).
+    pub fn merge(&mut self, other: &SchedStats) {
+        self.events_processed += other.events_processed;
+        self.direct_handoffs += other.direct_handoffs;
+        self.self_wakes += other.self_wakes;
+        self.coordinator_wakes += other.coordinator_wakes;
+    }
+}
+
+impl std::ops::Add for SchedStats {
+    type Output = SchedStats;
+
+    fn add(mut self, rhs: SchedStats) -> SchedStats {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::ops::AddAssign for SchedStats {
+    fn add_assign(&mut self, rhs: SchedStats) {
+        self.merge(&rhs);
+    }
+}
+
+impl std::iter::Sum for SchedStats {
+    fn sum<I: Iterator<Item = SchedStats>>(iter: I) -> SchedStats {
+        iter.fold(SchedStats::default(), |acc, s| acc + s)
+    }
+}
+
 struct SchedState {
     now: u64,
     seq: u64,
@@ -276,12 +308,19 @@ struct SchedState {
     stats: SchedStats,
 }
 
+/// Process-global counter distinguishing simulation instances in OS
+/// thread names (`sim<N>-p<pid>-<name>`). Host-side debugging aid only —
+/// it never feeds virtual time, so concurrent suites stay deterministic.
+static SIM_COUNTER: AtomicU64 = AtomicU64::new(0);
+
 pub(crate) struct SimCore {
     state: Mutex<SchedState>,
     /// Raised by a process when it yields the token back to the coordinator.
     coord: Signal,
     /// Immutable scheduler configuration.
     config: SchedConfig,
+    /// Which simulation instance this is (thread-naming only).
+    sim_id: u64,
 }
 
 impl SimCore {
@@ -385,8 +424,11 @@ impl SimHandle {
         let thread_resume = Arc::clone(&resume);
         let core = Arc::clone(&self.core);
         let tname = name.clone();
+        // `sim<N>-p<pid>-<name>` keeps debugger/`perf` output legible when
+        // dozens of simulations run concurrently (the OS-level name is
+        // truncated to 15 bytes on Linux; the sim/pid prefix survives).
         let thread = std::thread::Builder::new()
-            .name(format!("sim-{tname}"))
+            .name(format!("sim{}-p{}-{tname}", self.core.sim_id, pid.0))
             .spawn(move || {
                 // Wait for the first wake (Start) before touching anything.
                 thread_resume.await_and_clear();
@@ -687,6 +729,7 @@ impl Simulation {
             }),
             coord: Signal::new_inline(),
             config,
+            sim_id: SIM_COUNTER.fetch_add(1, Ordering::Relaxed),
         });
         Simulation {
             handle: SimHandle { core },

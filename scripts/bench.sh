@@ -3,6 +3,12 @@
 # update the committed baseline when the fast-path-on wall time of any
 # scenario regresses by more than 10%. `--force` accepts the regression
 # (e.g. after a deliberate trade-off) and updates the baseline anyway.
+#
+# Scenarios are matched by their `name` field, never by file order, so
+# adding, removing, or reordering scenarios cannot silently compare the
+# wrong pairs. Scenarios without a `fast_path_on` block (e.g. the
+# suite_fig6_sweep scaling scenario) are tracked in the baseline but not
+# gated.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,9 +21,15 @@ NEW=target/BENCH_substrate.new.json
 cargo build --release -p bench --bin perf_report
 ./target/release/perf_report --out "$NEW" >/dev/null
 
-# The fast-path-on wall_ms of each scenario, in file order.
+# Emit "name wall_ms" pairs: the fast-path-on wall_ms of each named
+# scenario. A scenario's name precedes its measurement blocks; the
+# `fast_path_on` line opens the block whose first wall_ms we want.
 wall_on() {
-    awk '/"fast_path_on"/{on=1} on && /"wall_ms"/{gsub(/[",]/,""); print $2; on=0}' "$1"
+    awk '
+        /"name":/         { gsub(/[",]/, "", $2); name = $2 }
+        /"fast_path_on"/  { on = 1 }
+        on && /"wall_ms"/ { gsub(/[",]/, "", $2); print name, $2; on = 0 }
+    ' "$1"
 }
 
 # Regression = worse than baseline by >10% AND by >5 ms (the absolute
@@ -27,12 +39,17 @@ regressed() {
 }
 
 if [ -f "$BASELINE" ]; then
-    mapfile -t old < <(wall_on "$BASELINE")
-    mapfile -t new < <(wall_on "$NEW")
+    declare -A old_by_name new_by_name
+    while read -r name ms; do old_by_name["$name"]=$ms; done < <(wall_on "$BASELINE")
+    while read -r name ms; do new_by_name["$name"]=$ms; done < <(wall_on "$NEW")
     fail=0
-    for i in "${!old[@]}"; do
-        if regressed "${new[$i]:-0}" "${old[$i]}"; then
-            echo "REGRESSION: scenario $i fast-path wall ${old[$i]} ms -> ${new[$i]:-?} ms (>10%)" >&2
+    for name in "${!old_by_name[@]}"; do
+        if [ -z "${new_by_name[$name]:-}" ]; then
+            echo "note: baseline scenario '$name' absent from new report (not gated)" >&2
+            continue
+        fi
+        if regressed "${new_by_name[$name]}" "${old_by_name[$name]}"; then
+            echo "REGRESSION: scenario '$name' fast-path wall ${old_by_name[$name]} ms -> ${new_by_name[$name]} ms (>10%)" >&2
             fail=1
         fi
     done

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 gate (see ROADMAP.md): release build + test suite, then the
 # full workspace test run (the root `cargo test` only covers the root
-# package).
+# package), then the golden-results check (all five results/*.txt must
+# regenerate byte-identically, sequentially and in parallel).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo test --workspace -q
+scripts/regen_results.sh
 echo "tier-1 OK"
