@@ -1,0 +1,13 @@
+//! Print the fault-sweep table: TCP goodput and recovery latency vs
+//! frame loss rate on a lossy Fast Ethernet link.
+//!
+//!   cargo run -p bench --release --bin fault_sweep [-- --threads N]
+
+use bench::{fault_sweep, runner};
+use dsim::SchedConfig;
+
+fn main() {
+    let threads = runner::resolve_threads(runner::cli_threads("fault_sweep"));
+    let points = fault_sweep::run_fault_sweep(threads, SchedConfig::default());
+    print!("{}", fault_sweep::render_fault_table(&points));
+}

@@ -1,11 +1,15 @@
 //! Host-performance report for the simulation substrate.
 //!
-//! Two report sections, both written to `BENCH_substrate.json`:
+//! Report sections, all written to `BENCH_substrate.json`:
 //!
 //! * **Fast-path A/B** — two fixed workloads run with direct token
 //!   handoff off vs on, recording wall-clock time, event throughput, and
 //!   the dispatch-path breakdown ([`dsim::SchedStats`]). Virtual-time
 //!   results are asserted identical between the two configurations.
+//! * **`fault_sweep`** — the goodput-vs-loss-rate sweep of
+//!   [`bench::fault_sweep`]: kernel TCP streaming over a lossy Fast
+//!   Ethernet link, with per-point goodput, recovery latency, and fault
+//!   counters (bit-reproducible for a fixed (seed, plan)).
 //! * **`suite_fig6_sweep`** — the full Figure 6(a)+6(b) point set run
 //!   through the parallel runner at `threads = 1` and `threads = N`
 //!   (default: available parallelism), recording suite wall-clock,
@@ -284,6 +288,49 @@ fn render_suite_scenario(par_threads: usize) -> String {
     )
 }
 
+/// The fault-injection scenario: the goodput-vs-loss sweep over a lossy
+/// Fast Ethernet link, with per-point goodput, recovery latency, and
+/// fault counters. Fixed (seed, plan) per point keeps the block
+/// bit-reproducible at any thread count; `gate_wall_ms` is the handle
+/// `scripts/bench.sh` gates on (matched by scenario name).
+fn render_fault_scenario(threads: usize) -> String {
+    use bench::fault_sweep;
+    let t0 = Instant::now();
+    let points = fault_sweep::run_fault_sweep(threads, SchedConfig::default());
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let pts: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "        {{\"loss_p\": {:.4}, \"goodput_mbps\": {:.3}, \
+                 \"max_stall_ms\": {:.3}, \"frames\": {}, \"dropped\": {}, \
+                 \"events_processed\": {}}}",
+                p.loss_p,
+                p.goodput_mbps,
+                p.max_stall_us / 1e3,
+                p.faults.frames,
+                p.faults.dropped,
+                p.stats.events_processed,
+            )
+        })
+        .collect();
+    eprintln!(
+        "fault_sweep: {} points, wall {:.0} ms, goodput {:.1} -> {:.1} Mb/s",
+        points.len(),
+        wall_ms,
+        points.first().map_or(0.0, |p| p.goodput_mbps),
+        points.last().map_or(0.0, |p| p.goodput_mbps),
+    );
+    format!(
+        "    {{\n      \"name\": \"fault_sweep\",\n      \"gate_wall_ms\": {wall_ms:.3},\n      \
+         \"stream_msg_bytes\": {},\n      \"stream_total_bytes\": {},\n      \
+         \"points\": [\n{}\n      ]\n    }}",
+        fault_sweep::STREAM_MSG,
+        fault_sweep::STREAM_TOTAL,
+        pts.join(",\n"),
+    )
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = runner::resolve_threads(runner::take_threads_arg(&mut args));
@@ -342,6 +389,7 @@ fn main() {
             ),
         ]
     });
+    let fault_json = render_fault_scenario(threads);
     let suite_json = render_suite_scenario(threads);
 
     // Acceptance summary: best coordinator round-trip reduction and best
@@ -357,7 +405,7 @@ fn main() {
 
     let json = format!(
         "{{\n  \"pingpong_rounds\": {PINGPONG_ROUNDS},\n  \"stream_msg_bytes\": {STREAM_MSG},\n  \
-         \"stream_total_bytes\": {STREAM_TOTAL},\n  \"reps\": {REPS},\n  \"scenarios\": [\n{pp_json},\n{st_json},\n{suite_json}\n  ],\n  \
+         \"stream_total_bytes\": {STREAM_TOTAL},\n  \"reps\": {REPS},\n  \"scenarios\": [\n{pp_json},\n{st_json},\n{fault_json},\n{suite_json}\n  ],\n  \
          \"best_coordinator_roundtrip_reduction_x\": {best_rt:.2},\n  \
          \"best_wall_clock_reduction_pct\": {best_wall:.1}\n}}\n"
     );

@@ -8,6 +8,8 @@
 //! * [`fig7`] — the RPC elapsed-time figure;
 //! * [`ablate`] — parameter sweeps for the design choices (w, t, the
 //!   2 KB copy threshold, the handler-thread penalty);
+//! * [`fault_sweep`] — TCP goodput and recovery latency vs frame loss on
+//!   a lossy Fast Ethernet link (the `simnic::faults` layer end to end);
 //! * [`micro`] — the underlying ping-pong / streaming measurement engine;
 //! * [`runner`] — the bounded parallel runner the sweeps go through
 //!   (every measurement point is a fresh, independent simulation).
@@ -18,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod ablate;
+pub mod fault_sweep;
 pub mod fig7;
 pub mod figures;
 pub mod micro;

@@ -134,6 +134,111 @@ fn fig6b_sweep_identical_across_thread_counts() {
     }
 }
 
+// ----- fault layer -----------------------------------------------------
+
+/// Run a small request/response exchange and return (finish time, sched
+/// counters). `faulted` selects the fault-wrapped pair builders with an
+/// *empty* plan on both lanes — which must be a bitwise no-op.
+fn exchange(stype: sockets::SockType, faulted: bool) -> (dsim::SimTime, dsim::SchedStats) {
+    use dsim::{SimDuration, Simulation};
+    use simnic::FaultPlan;
+    use simos::HostId;
+    use sockets::{api, SockAddr};
+    use sovia_repro::testbed;
+
+    let mut sim = Simulation::with_config(ON);
+    let h = sim.handle();
+    let empty = FaultPlan::empty();
+    let (m0, m1) = match (stype, faulted) {
+        (sockets::SockType::Via, false) => testbed::sovia_pair(&h, SoviaConfig::default()),
+        (sockets::SockType::Via, true) => {
+            let (m0, m1, f0, f1) =
+                testbed::sovia_pair_with_faults(&h, SoviaConfig::default(), &empty, &empty);
+            assert_eq!(f0.stats().injected(), 0);
+            assert_eq!(f1.stats().injected(), 0);
+            (m0, m1)
+        }
+        (sockets::SockType::Stream, false) => testbed::tcp_ethernet_pair(&h),
+        (sockets::SockType::Stream, true) => {
+            let (m0, m1, _f01, _f10) =
+                testbed::tcp_ethernet_pair_with_faults(&h, &empty, &empty);
+            (m0, m1)
+        }
+    };
+    let (cp, sp) = testbed::procs(&m0, &m1);
+    sim.spawn("server", move |ctx| {
+        let s = api::socket(ctx, &sp, stype).unwrap();
+        api::bind(ctx, &sp, s, SockAddr::new(HostId(1), 7070)).unwrap();
+        api::listen(ctx, &sp, s, 1).unwrap();
+        let (c, _) = api::accept(ctx, &sp, s).unwrap();
+        let req = api::recv_exact(ctx, &sp, c, 16 * 1024).unwrap();
+        api::send_all(ctx, &sp, c, &req).unwrap();
+        api::close(ctx, &sp, c).unwrap();
+        api::close(ctx, &sp, s).unwrap();
+    });
+    sim.spawn("client", move |ctx| {
+        ctx.sleep(SimDuration::from_millis(1));
+        let s = api::socket(ctx, &cp, stype).unwrap();
+        api::connect(ctx, &cp, s, SockAddr::new(HostId(1), 7070)).unwrap();
+        api::send_all(ctx, &cp, s, &vec![0xABu8; 16 * 1024]).unwrap();
+        let echo = api::recv_exact(ctx, &cp, s, 16 * 1024).unwrap();
+        assert_eq!(echo.len(), 16 * 1024);
+        api::close(ctx, &cp, s).unwrap();
+    });
+    let end = sim.run().unwrap();
+    (end, sim.sched_stats())
+}
+
+/// The empty `FaultPlan` is a strict no-op: routing a workload through
+/// the fault-wrapped pair builders yields the *same simulation* — same
+/// finish time, same event count — as the plain builders, for both the
+/// SOVIA (VIA NIC wrapper) and TCP (link-lane wrapper) paths.
+#[test]
+fn empty_fault_plan_is_bitwise_noop() {
+    for stype in [sockets::SockType::Via, sockets::SockType::Stream] {
+        let (t_plain, s_plain) = exchange(stype, false);
+        let (t_fault, s_fault) = exchange(stype, true);
+        assert_eq!(
+            t_plain, t_fault,
+            "{stype:?}: empty fault plan shifted the finish time"
+        );
+        assert_eq!(
+            s_plain.events_processed, s_fault.events_processed,
+            "{stype:?}: empty fault plan changed the event count"
+        );
+    }
+}
+
+/// The fault sweep — seeded drops and all — is bit-identical at host
+/// thread counts 1, 2, and 8: the rendered table, every goodput and
+/// stall value, every fault counter, every per-point event count.
+#[test]
+fn fault_sweep_identical_across_thread_counts() {
+    use bench::fault_sweep::{render_fault_table, run_fault_sweep};
+
+    let base = run_fault_sweep(1, ON);
+    assert!(base.iter().all(|p| p.goodput_mbps > 0.0));
+    // Losses actually fired on the lossy points.
+    assert!(base.iter().any(|p| p.faults.dropped > 0));
+    for threads in [2, 8] {
+        let other = run_fault_sweep(threads, ON);
+        assert_eq!(
+            render_fault_table(&base),
+            render_fault_table(&other),
+            "fault table drifted at threads={threads}"
+        );
+        for (a, b) in base.iter().zip(&other) {
+            assert_eq!(a.goodput_mbps.to_bits(), b.goodput_mbps.to_bits());
+            assert_eq!(a.max_stall_us.to_bits(), b.max_stall_us.to_bits());
+            assert_eq!(a.faults, b.faults, "fault counters drifted at threads={threads}");
+            assert_eq!(
+                a.stats.events_processed, b.stats.events_processed,
+                "event counts drifted at threads={threads}"
+            );
+        }
+    }
+}
+
 #[test]
 fn tcp_lane_stream_identical_across_fast_path_ab() {
     // The TCP-over-LANE variant exercises a different machine topology

@@ -247,6 +247,13 @@ impl SovConn {
         self.wakeup_rcvd.load(Ordering::Relaxed)
     }
 
+    /// True if the connection can no longer make progress: a reset was
+    /// observed, or the VI itself sits in the error state.
+    pub(crate) fn is_broken(&self) -> bool {
+        self.reset.load(Ordering::Relaxed)
+            || matches!(self.vi.state(), via::ViState::Error(_))
+    }
+
     /// Protocol counters.
     pub fn stats(&self) -> ConnStats {
         *self.stats.lock()
@@ -360,6 +367,12 @@ impl SovConn {
             }
             if self.reset.load(Ordering::Relaxed) {
                 return Err(SockError::ConnectionReset);
+            }
+            // The VI itself may have broken (fault injection, forced
+            // disconnect) without a completion to carry the news.
+            if let via::ViState::Error(e) = self.vi.state() {
+                self.reset.store(true, Ordering::Relaxed);
+                return Err(Self::map_vip(e));
             }
             // The rejected three-way handshake: ask permission for the
             // next DATA and wait for the receiver's grant.
@@ -570,6 +583,10 @@ impl SovConn {
                 self.reap_one_blocking(ctx)?;
             }
             region.deregister(ctx);
+            if let DescState::Error(e) = desc.status().state {
+                self.reset.store(true, Ordering::Relaxed);
+                return Err(Self::map_vip(e));
+            }
         }
         Ok(data.len())
     }
@@ -713,6 +730,12 @@ impl SovConn {
             }
             if self.fin_rcvd.load(Ordering::Relaxed) {
                 return Ok(Vec::new()); // EOF
+            }
+            // A broken VI with an empty receive queue produces no further
+            // completions; surface the breakage instead of blocking.
+            if let via::ViState::Error(e) = self.vi.state() {
+                self.reset.store(true, Ordering::Relaxed);
+                return Err(Self::map_vip(e));
             }
             lib.wait_progress(ctx);
         }

@@ -137,15 +137,30 @@ impl Socket for SovSocket {
         // Service the library while waiting (single-threaded mode keeps
         // all protocol progress on application threads).
         let conn = loop {
-            if let Some(c) = accept_q.try_pop() {
-                break c;
+            let Some(c) = accept_q.try_pop() else {
+                self.lib.wait_progress(ctx);
+                continue;
+            };
+            // Wait for the peer's WAKEUP so the peer address is known. A
+            // connection that breaks first (say, its WAKEUP was lost and
+            // the reliable VI tore down) surfaces as a typed error, like
+            // BSD's ECONNABORTED — the peer may believe it connected and
+            // never retry, so silently waiting again would hang forever.
+            let mut broken = false;
+            while !c.wakeup_received() {
+                if c.is_broken() {
+                    broken = true;
+                    break;
+                }
+                self.lib.wait_progress(ctx);
             }
-            self.lib.wait_progress(ctx);
+            if broken {
+                self.lib.remove_conn(c.vi_id());
+                self.lib.conn_finalized();
+                return Err(SockError::ConnectionReset);
+            }
+            break c;
         };
-        // Wait for the peer's WAKEUP so the peer address is known.
-        while !conn.wakeup_received() {
-            self.lib.wait_progress(ctx);
-        }
         let peer = conn.peer_addr().expect("WAKEUP carried no address");
         let sock = SovSocket::connected(Arc::clone(&self.lib), conn);
         Ok((sock, peer))
@@ -161,7 +176,11 @@ impl Socket for SovSocket {
         }
         let lib = &self.lib;
         let local = SockAddr::new(lib.process().machine().id(), lib.alloc_port());
+        // Reliable delivery (Section 4): SOVIA's credit scheme guarantees a
+        // pre-posted descriptor for every arrival, and reliability makes
+        // wire-level loss break the connection instead of silently stalling.
         let vi = lib.nic().create_vi(ViAttributes {
+            reliability: Some(via::Reliability::ReliableDelivery),
             recv_cq: Some(Arc::clone(lib.cq())),
             ..Default::default()
         });
@@ -294,6 +313,7 @@ fn connection_thread(
         let pending = pending_q.pop(ctx);
         ctx.sleep(lib.process().costs().context_switch);
         let vi = lib.nic().create_vi(ViAttributes {
+            reliability: Some(via::Reliability::ReliableDelivery),
             recv_cq: Some(Arc::clone(lib.cq())),
             ..Default::default()
         });

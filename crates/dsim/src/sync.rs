@@ -281,6 +281,24 @@ impl SimFlag {
             self.cv.wait(ctx);
         }
     }
+
+    /// Block until the flag is set or `timeout` elapses, whichever first.
+    pub fn wait_timeout(&self, ctx: &SimCtx, timeout: SimDuration) -> TimedWait {
+        let deadline = ctx.now() + timeout;
+        loop {
+            if *self.set.lock() {
+                return TimedWait::Notified;
+            }
+            let now = ctx.now();
+            if now >= deadline {
+                return TimedWait::TimedOut;
+            }
+            let remaining = deadline.since(now);
+            if self.cv.wait_timeout(ctx, remaining) == TimedWait::TimedOut && !*self.set.lock() {
+                return TimedWait::TimedOut;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

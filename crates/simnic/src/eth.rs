@@ -99,6 +99,23 @@ impl EthPort {
         b.start(sim, ba);
     }
 
+    /// Cross-wire two ports with per-direction fault plans. Empty plans
+    /// degenerate to the exact [`EthPort::connect`] wiring (and disabled
+    /// handles). Returns the `(a→b, b→a)` fault handles.
+    pub fn connect_with_faults(
+        sim: &SimHandle,
+        a: &Arc<EthPort>,
+        b: &Arc<EthPort>,
+        plan_ab: &crate::faults::FaultPlan,
+        plan_ba: &crate::faults::FaultPlan,
+    ) -> (crate::faults::FaultHandle, crate::faults::FaultHandle) {
+        let (ab, h_ab) = Link::with_faults(sim, a.link_params, Arc::clone(&b.rx_queue), plan_ab);
+        let (ba, h_ba) = Link::with_faults(sim, b.link_params, Arc::clone(&a.rx_queue), plan_ba);
+        a.start(sim, ab);
+        b.start(sim, ba);
+        (h_ab, h_ba)
+    }
+
     fn start(self: &Arc<EthPort>, sim: &SimHandle, out: Link<EthFrame>) {
         // TX engine.
         {

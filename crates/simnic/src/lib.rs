@@ -9,6 +9,9 @@
 //!   with an interrupt-style receive handler.
 //! * [`platform`] — calibrated presets for the paper's testbed: Giganet
 //!   cLAN1000 (VIA-aware, 1.25 Gb/s) and Fast Ethernet.
+//! * [`faults`] — seeded, deterministic fault injection (drop / corrupt /
+//!   duplicate / reorder / delay plus scripted one-shots) for links and
+//!   NICs; a strict no-op when the plan is empty.
 //!
 //! The VIA-specific NIC *engine* (descriptor processing, pre-posting
 //! constraint, completion queues) lives in the `via` crate next to the
@@ -17,9 +20,11 @@
 #![warn(missing_docs)]
 
 pub mod eth;
+pub mod faults;
 pub mod link;
 pub mod platform;
 
 pub use eth::{EthFrame, EthNicCosts, EthPort, ETH_MTU, ETH_OVERHEAD};
+pub use faults::{FaultAction, FaultHandle, FaultLane, FaultPlan, FaultStats, ScriptedFault};
 pub use link::{Link, LinkParams};
 pub use platform::{clan1000_nic, clan_link, fast_ethernet_link, fast_ethernet_nic, ViaNicCosts};

@@ -148,7 +148,7 @@ impl Socket for TcpSocket {
         let prev = std::mem::replace(&mut *self.state.lock(), State::Closed);
         match prev {
             State::Connected(tcb) => {
-                tcb.close(ctx);
+                tcb.close_full(ctx);
                 Ok(())
             }
             State::Listening { addr, .. } => {

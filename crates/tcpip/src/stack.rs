@@ -179,9 +179,16 @@ impl TcpStack {
             }
             return;
         }
-        // Segment for a dead/unknown connection: reset the sender unless
-        // it is itself an RST.
-        if !seg.flags.contains(TcpFlags::RST) && !seg.flags.contains(TcpFlags::ACK) {
+        // Segment for a dead/unknown connection: reset the sender so a
+        // stranded peer learns promptly instead of retransmitting into a
+        // void until its retry cap fires. Pure ACKs stay unanswered — the
+        // final ACK of an orderly close routinely lands after the TCB has
+        // been reaped, and answering it would be noise.
+        let pure_ack = seg.payload.is_empty()
+            && !seg.flags.contains(TcpFlags::SYN)
+            && !seg.flags.contains(TcpFlags::FIN)
+            && !seg.flags.contains(TcpFlags::RST);
+        if !seg.flags.contains(TcpFlags::RST) && !pure_ack {
             self.send_rst(ctx, src_host, &seg);
         }
     }

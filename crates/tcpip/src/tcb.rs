@@ -30,6 +30,11 @@ pub fn mss_for(mtu: usize) -> usize {
 /// Default socket buffer size (Linux 2.2 default-ish).
 pub const DEFAULT_SOCKBUF: usize = 65_535;
 
+/// Consecutive retransmissions of the same data before the connection is
+/// abandoned with a reset (Linux's `tcp_retries2`-style bound; keeps a
+/// partitioned peer from retransmitting forever).
+pub const MAX_RTO_RETRIES: u32 = 12;
+
 /// Connection states (condensed: TIME_WAIT is skipped — the simulation
 /// has no stray duplicate segments to guard against).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +70,9 @@ struct Snd {
     fin_acked: bool,
     rto_gen: u64,
     rto_armed: bool,
+    /// Consecutive RTO firings without forward progress (an ACK advancing
+    /// `una` clears it); `MAX_RTO_RETRIES` aborts the connection.
+    rto_retries: u32,
     /// End sequence of the last sub-MSS segment sent (Minshall's Nagle
     /// variant: only hold small data while a *small* segment is unacked,
     /// so a full-segment stream's tail never trips the delayed-ACK stall).
@@ -215,6 +223,7 @@ impl Tcb {
                 fin_acked: false,
                 rto_gen: 0,
                 rto_armed: false,
+                rto_retries: 0,
                 small_limit: 1,
             }),
             rcv: Mutex::new(Rcv {
@@ -457,25 +466,55 @@ impl Tcb {
             .expect("TCB self reference not set")
     }
 
-    pub(crate) fn handle_rto(self: &Arc<Self>, _ctx: &SimCtx, gen: u64) {
-        let retransmit = {
+    pub(crate) fn handle_rto(self: &Arc<Self>, ctx: &SimCtx, gen: u64) {
+        // A lost SYN never shows up as rewindable data (the engine only
+        // runs once established): retransmit the handshake segment itself.
+        if *self.state.lock() == TcpState::SynSent {
+            let give_up = {
+                let mut snd = self.snd.lock();
+                if snd.rto_gen != gen || !snd.rto_armed {
+                    return;
+                }
+                snd.rto_retries += 1;
+                snd.rto_retries > MAX_RTO_RETRIES
+            };
+            if give_up {
+                self.do_reset();
+            } else {
+                self.send_syn(ctx); // re-arms the RTO
+            }
+            return;
+        }
+        enum Rto {
+            Stale,
+            Retransmit,
+            GiveUp,
+        }
+        let action = {
             let mut snd = self.snd.lock();
             if snd.rto_gen != gen || !snd.rto_armed {
-                false
+                Rto::Stale
             } else if seq_diff(snd.nxt, snd.una) > 0 {
-                // Go-back-N: rewind and let the engine resend.
-                snd.nxt = snd.una;
-                if snd.fin_sent && !snd.fin_acked {
-                    snd.fin_sent = false;
+                snd.rto_retries += 1;
+                if snd.rto_retries > MAX_RTO_RETRIES {
+                    Rto::GiveUp
+                } else {
+                    // Go-back-N: rewind and let the engine resend.
+                    snd.nxt = snd.una;
+                    if snd.fin_sent && !snd.fin_acked {
+                        snd.fin_sent = false;
+                    }
+                    Rto::Retransmit
                 }
-                true
             } else {
                 snd.rto_armed = false;
-                false
+                Rto::Stale
             }
         };
-        if retransmit {
-            self.cv_tx.notify_all();
+        match action {
+            Rto::Stale => {}
+            Rto::Retransmit => self.cv_tx.notify_all(),
+            Rto::GiveUp => self.do_reset(),
         }
     }
 
@@ -525,6 +564,8 @@ impl Tcb {
                     {
                         let mut snd = self.snd.lock();
                         snd.peer_wnd = seg.wnd;
+                        snd.rto_retries = 0;
+                        snd.rto_armed = false;
                     }
                     *self.state.lock() = TcpState::Established;
                     // The handshake ACK.
@@ -534,7 +575,11 @@ impl Tcb {
                 }
             }
             TcpState::SynRcvd => {
-                if seg.flags.contains(TcpFlags::ACK) && !seg.flags.contains(TcpFlags::SYN) {
+                if seg.flags.contains(TcpFlags::SYN) && !seg.flags.contains(TcpFlags::ACK) {
+                    // Duplicate SYN: our SYN-ACK was lost and the client
+                    // retransmitted. Answer again.
+                    self.send_syn_ack(ctx);
+                } else if seg.flags.contains(TcpFlags::ACK) && !seg.flags.contains(TcpFlags::SYN) {
                     {
                         let mut snd = self.snd.lock();
                         snd.peer_wnd = seg.wnd;
@@ -581,6 +626,7 @@ impl Tcb {
                         snd.fin_acked = true;
                         check_closed = true;
                     }
+                    snd.rto_retries = 0;
                     // Slow-start growth, capped generously (no losses on
                     // the SAN; it simply ramps and saturates).
                     snd.cwnd = (snd.cwnd + self.mss as u32).min(1 << 20);
@@ -799,6 +845,24 @@ impl Tcb {
             snd.fin_queued = true;
         }
         self.cv_tx.notify_all();
+    }
+
+    /// Full close (the `close()` syscall, as opposed to `SHUT_WR`): closing
+    /// with unread received data aborts with RST — BSD semantics — so the
+    /// peer sees a reset rather than a clean EOF it could mistake for
+    /// complete delivery.
+    pub fn close_full(self: &Arc<Self>, ctx: &SimCtx) {
+        let unread = !self.rcv.lock().buf.is_empty();
+        if unread
+            && !self.reset.load(Ordering::Relaxed)
+            && *self.state.lock() != TcpState::Closed
+        {
+            let seq = self.snd.lock().nxt;
+            self.emit(ctx, seq, TcpFlags::RST.union(TcpFlags::ACK), Payload::empty());
+            self.do_reset();
+            return;
+        }
+        self.close(ctx);
     }
 
     /// Whether the peer reset the connection.

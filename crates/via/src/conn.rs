@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dsim::sync::{SimFlag, SimQueue};
+use dsim::sync::{SimFlag, SimQueue, TimedWait};
 use dsim::{SimCtx, SimDuration, SimHandle};
 use parking_lot::Mutex;
 
@@ -106,21 +106,20 @@ impl ViaNic {
         self.vis_lock().get(&id).cloned()
     }
 
-    /// `VipConnectRequest`: ask `remote` for a connection on
-    /// `discriminator`, blocking until accepted or rejected.
-    pub fn connect_request(
+    /// Register a pending request and send the `ConnReq` (shared by the
+    /// blocking and the timed connect).
+    fn start_connect_request(
         self: &Arc<Self>,
         ctx: &SimCtx,
         vi: &Arc<Vi>,
         remote: ViaNicId,
         discriminator: u64,
-    ) -> VipResult<()> {
+    ) -> VipResult<(u64, Arc<PendingRequest>)> {
         if vi.state() != ViState::Idle {
             return Err(VipError::InvalidState);
         }
-        let costs = self.machine().costs();
         // Connection management goes through the kernel agent.
-        ctx.sleep(costs.syscall);
+        ctx.sleep(self.machine().costs().syscall);
         vi.set_state(ViState::Connecting);
         let req_id = self.agent.next_req.fetch_add(1, Ordering::Relaxed);
         let req = Arc::new(PendingRequest {
@@ -138,8 +137,48 @@ impl ViaNic {
                 from_vi: vi.id(),
             },
         );
+        Ok((req_id, req))
+    }
+
+    /// `VipConnectRequest`: ask `remote` for a connection on
+    /// `discriminator`, blocking until accepted or rejected.
+    pub fn connect_request(
+        self: &Arc<Self>,
+        ctx: &SimCtx,
+        vi: &Arc<Vi>,
+        remote: ViaNicId,
+        discriminator: u64,
+    ) -> VipResult<()> {
+        let (_req_id, req) = self.start_connect_request(ctx, vi, remote, discriminator)?;
         req.flag.wait(ctx);
-        ctx.sleep(costs.context_switch);
+        ctx.sleep(self.machine().costs().context_switch);
+        let result = req.result.lock().take().expect("flag set without result");
+        result
+    }
+
+    /// `VipConnectRequest` with a deadline: [`VipError::Timeout`] if the
+    /// remote neither accepts nor rejects in time (e.g. nobody is inside
+    /// `VipConnectWait` and the discriminator *is* registered, so the
+    /// request just sits in the listener's backlog). The VI returns to
+    /// `Idle` and a late answer for the abandoned request is ignored.
+    pub fn connect_request_timeout(
+        self: &Arc<Self>,
+        ctx: &SimCtx,
+        vi: &Arc<Vi>,
+        remote: ViaNicId,
+        discriminator: u64,
+        timeout: SimDuration,
+    ) -> VipResult<()> {
+        let (req_id, req) = self.start_connect_request(ctx, vi, remote, discriminator)?;
+        if req.flag.wait_timeout(ctx, timeout) == TimedWait::TimedOut {
+            // Deregister; if the answer raced us and already consumed the
+            // pending entry, fall through to its result instead.
+            if self.agent.pending.lock().remove(&req_id).is_some() {
+                vi.set_state(ViState::Idle);
+                return Err(VipError::Timeout);
+            }
+        }
+        ctx.sleep(self.machine().costs().context_switch);
         let result = req.result.lock().take().expect("flag set without result");
         result
     }

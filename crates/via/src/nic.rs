@@ -13,7 +13,7 @@ use std::sync::Arc;
 use dsim::sync::SimQueue;
 use dsim::{Payload, SimCtx, SimDuration};
 use parking_lot::Mutex;
-use simnic::{Link, LinkParams, ViaNicCosts};
+use simnic::{FaultAction, FaultHandle, FaultLane, FaultPlan, Link, LinkParams, ScriptedFault, ViaNicCosts};
 use simos::Machine;
 
 use crate::conn::KernelAgent;
@@ -59,6 +59,7 @@ pub(crate) enum MgmtMsg {
 }
 
 /// A frame on a VIA link.
+#[derive(Clone)]
 pub(crate) enum ViaFrame {
     Data {
         dst_vi: u32,
@@ -69,6 +70,7 @@ pub(crate) enum ViaFrame {
 }
 
 /// Jobs consumed by the NIC engine.
+#[derive(Clone)]
 pub(crate) enum NicJob {
     /// A doorbell rang for VI `vi_id`: process its next send descriptor.
     Doorbell { vi_id: u32 },
@@ -94,6 +96,40 @@ pub struct NicStats {
     pub rx_drops_bad_vi: u64,
 }
 
+/// Installed fault-injection state of a NIC (see [`ViaNic::install_faults`]).
+///
+/// The probabilistic lane judges every arriving *data* frame (management
+/// frames model the reliable kernel-agent channel and are exempt), and the
+/// scripted descriptor-error lists fail the nth send/receive descriptor
+/// the engine would otherwise complete successfully.
+struct NicFaults {
+    lane: Arc<FaultLane>,
+    rx_desc_targets: Vec<u64>,
+    tx_desc_targets: Vec<u64>,
+    rx_desc_seen: Mutex<u64>,
+    tx_desc_seen: Mutex<u64>,
+}
+
+impl NicFaults {
+    /// Count one engine-processed receive descriptor; true if scripted to
+    /// fail.
+    fn take_rx_desc_error(&self) -> bool {
+        let mut seen = self.rx_desc_seen.lock();
+        let idx = *seen;
+        *seen += 1;
+        self.rx_desc_targets.contains(&idx)
+    }
+
+    /// Count one engine-processed send descriptor; true if scripted to
+    /// fail.
+    fn take_tx_desc_error(&self) -> bool {
+        let mut seen = self.tx_desc_seen.lock();
+        let idx = *seen;
+        *seen += 1;
+        self.tx_desc_targets.contains(&idx)
+    }
+}
+
 /// A VIA-capable NIC attached to one machine.
 pub struct ViaNic {
     id: ViaNicId,
@@ -104,6 +140,7 @@ pub struct ViaNic {
     vis: Mutex<HashMap<u32, Arc<Vi>>>,
     next_vi: AtomicU32,
     stats: Mutex<NicStats>,
+    faults: Mutex<Option<Arc<NicFaults>>>,
     pub(crate) agent: KernelAgent,
 }
 
@@ -121,6 +158,7 @@ impl ViaNic {
             vis: Mutex::new(HashMap::new()),
             next_vi: AtomicU32::new(1),
             stats: Mutex::new(NicStats::default()),
+            faults: Mutex::new(None),
             agent: KernelAgent::new(&sim),
         });
         machine.ext().insert::<ViaNic>(Arc::clone(&nic));
@@ -166,6 +204,75 @@ impl ViaNic {
     /// Counter snapshot.
     pub fn stats(&self) -> NicStats {
         *self.stats.lock()
+    }
+
+    /// Install a fault plan on this NIC. An empty plan installs nothing
+    /// (the engine keeps its exact fault-free code path) and returns a
+    /// disabled handle.
+    ///
+    /// * Probabilistic drop/corrupt/duplicate/reorder/delay apply to
+    ///   arriving **data** frames, one seeded RNG draw per frame.
+    ///   Management frames (the kernel-agent channel) stay reliable.
+    /// * [`ScriptedFault::RxDescriptorError`]/[`ScriptedFault::TxDescriptorError`]
+    ///   fail the nth receive/send descriptor the engine processes.
+    /// * [`ScriptedFault::DisconnectAt`] forcibly breaks every VI
+    ///   connected at that virtual time (measured from installation) and
+    ///   notifies each peer.
+    ///
+    /// On a [`Reliability::ReliableDelivery`] VI a lost or corrupted frame
+    /// breaks the connection on both ends (the model's stand-in for the
+    /// hardware's delivery guarantee); on an unreliable VI it is a silent
+    /// drop, as the VIA spec allows.
+    pub fn install_faults(self: &Arc<Self>, plan: &FaultPlan) -> FaultHandle {
+        let Some(lane) = FaultLane::new(plan) else {
+            return FaultHandle::disabled();
+        };
+        let mut rx_desc_targets = Vec::new();
+        let mut tx_desc_targets = Vec::new();
+        for ev in &plan.scripted {
+            match ev {
+                ScriptedFault::RxDescriptorError { nth } => rx_desc_targets.push(*nth),
+                ScriptedFault::TxDescriptorError { nth } => tx_desc_targets.push(*nth),
+                ScriptedFault::DisconnectAt { at } => {
+                    let nic = Arc::clone(self);
+                    let lane = Arc::clone(&lane);
+                    self.machine.sim().schedule_in(*at, move |_| {
+                        let vis: Vec<Arc<Vi>> =
+                            nic.vis_lock().values().cloned().collect();
+                        for vi in vis {
+                            if let Some((peer_nic, peer_vi)) = vi.peer() {
+                                nic.send_mgmt(
+                                    peer_nic,
+                                    MgmtMsg::Disconnect { dst_vi: peer_vi },
+                                );
+                                vi.break_with(VipError::Disconnected);
+                                lane.count_scripted(|s| s.forced_disconnects += 1);
+                            }
+                        }
+                    });
+                }
+                ScriptedFault::AtFrame { .. } => {} // handled by the lane
+            }
+        }
+        let handle = lane.handle();
+        *self.faults.lock() = Some(Arc::new(NicFaults {
+            lane,
+            rx_desc_targets,
+            tx_desc_targets,
+            rx_desc_seen: Mutex::new(0),
+            tx_desc_seen: Mutex::new(0),
+        }));
+        handle
+    }
+
+    /// Break `vi` with `err`, telling the connected peer (if any) first so
+    /// both ends observe the failure. Peer capture must precede the break:
+    /// `break_with` clears the connected state.
+    fn break_and_notify(&self, vi: &Arc<Vi>, err: VipError) {
+        if let Some((peer_nic, peer_vi)) = vi.peer() {
+            self.send_mgmt(peer_nic, MgmtMsg::Disconnect { dst_vi: peer_vi });
+        }
+        vi.break_with(err);
     }
 
     /// `VipCreateVi`.
@@ -239,6 +346,20 @@ impl ViaNic {
                 return;
             }
         };
+        let faults = self.faults.lock().clone();
+        if let Some(f) = &faults {
+            if f.take_tx_desc_error() {
+                // Scripted "complete the next send descriptor in error":
+                // the transfer never reaches the wire.
+                f.lane.count_scripted(|s| s.descriptor_errors += 1);
+                desc.fail(VipError::DescriptorError);
+                vi.sq.complete(desc, &vi.send_cq, vi.id(), WqKind::Send);
+                if vi.reliability == Reliability::ReliableDelivery {
+                    self.break_and_notify(&vi, VipError::DescriptorError);
+                }
+                return;
+            }
+        }
         let link = self.link_to(peer_nic);
         // DMA the payload out of host memory and serialize it onto the
         // wire; the NIC is busy for the whole transfer (store-and-forward).
@@ -272,6 +393,84 @@ impl ViaNic {
                 payload,
                 immediate,
             } => {
+                let faults = self.faults.lock().clone();
+                if let Some(f) = &faults {
+                    match f.lane.next_frame() {
+                        None => {}
+                        Some(FaultAction::Delay) => {
+                            // The frame dawdled in transit: the engine sees
+                            // it late.
+                            ctx.sleep(f.lane.delay_extra());
+                        }
+                        Some(FaultAction::Reorder) => {
+                            // A frame overtaken by its successors violates a
+                            // reliable-delivery VI's ordering guarantee, and
+                            // the model has no NIC-level retransmission to
+                            // repair the gap: tear the connection, as for
+                            // wire loss. Unreliable VIs just see it late.
+                            if let Some(vi) = self.lookup_vi(dst_vi) {
+                                if vi.reliability == Reliability::ReliableDelivery
+                                    && matches!(vi.state(), ViState::Connected { .. })
+                                {
+                                    ctx.sleep(self.costs.rx_desc);
+                                    self.break_and_notify(&vi, VipError::Disconnected);
+                                    return;
+                                }
+                            }
+                            // Requeue behind everything that arrives within
+                            // the hold-back window, then process normally
+                            // (the requeued copy is judged afresh but the
+                            // lane draw order stays frame-arrival order).
+                            let jobs = Arc::clone(&self.jobs);
+                            let mut slot = Some(NicJob::Rx(ViaFrame::Data {
+                                dst_vi,
+                                payload,
+                                immediate,
+                            }));
+                            self.machine.sim().schedule_in(
+                                f.lane.delay_extra(),
+                                move |_| {
+                                    if let Some(j) = slot.take() {
+                                        jobs.push(j);
+                                    }
+                                },
+                            );
+                            return;
+                        }
+                        Some(FaultAction::Duplicate) => {
+                            // Reliable delivery discards duplicates by
+                            // sequence number; only unreliable VIs see the
+                            // second copy (judged afresh when it re-arrives).
+                            let reliable = self
+                                .lookup_vi(dst_vi)
+                                .map_or(false, |vi| {
+                                    vi.reliability == Reliability::ReliableDelivery
+                                });
+                            if !reliable {
+                                self.jobs.push(NicJob::Rx(ViaFrame::Data {
+                                    dst_vi,
+                                    payload: payload.clone(),
+                                    immediate,
+                                }));
+                            }
+                        }
+                        Some(FaultAction::Drop) | Some(FaultAction::Corrupt) => {
+                            // The frame died on the wire (or arrived with a
+                            // bad CRC). Unreliable VIs lose it silently; a
+                            // reliable-delivery VI's guarantee is broken,
+                            // so the connection is torn on both ends.
+                            ctx.sleep(self.costs.rx_desc);
+                            if let Some(vi) = self.lookup_vi(dst_vi) {
+                                if vi.reliability == Reliability::ReliableDelivery
+                                    && matches!(vi.state(), ViState::Connected { .. })
+                                {
+                                    self.break_and_notify(&vi, VipError::Disconnected);
+                                }
+                            }
+                            return;
+                        }
+                    }
+                }
                 ctx.sleep(self.costs.rx_desc);
                 let Some(vi) = self.lookup_vi(dst_vi) else {
                     self.stats.lock().rx_drops_bad_vi += 1;
@@ -280,6 +479,22 @@ impl ViaNic {
                 if !matches!(vi.state(), ViState::Connected { .. }) {
                     self.stats.lock().rx_drops_bad_vi += 1;
                     return;
+                }
+                if let Some(f) = &faults {
+                    if f.take_rx_desc_error() {
+                        // Scripted "complete the next receive descriptor in
+                        // error". With nothing pre-posted the break below
+                        // still surfaces the fault (reliable VIs).
+                        f.lane.count_scripted(|s| s.descriptor_errors += 1);
+                        if let Some(desc) = vi.rq.pending.lock().pop_front() {
+                            desc.fail(VipError::DescriptorError);
+                            vi.rq.complete(desc, &vi.recv_cq, vi.id(), WqKind::Recv);
+                        }
+                        if vi.reliability == Reliability::ReliableDelivery {
+                            self.break_and_notify(&vi, VipError::DescriptorError);
+                        }
+                        return;
+                    }
                 }
                 let maybe_desc = vi.rq.pending.lock().pop_front();
                 let Some(desc) = maybe_desc else {

@@ -88,17 +88,34 @@ impl WorkQueue {
         }
     }
 
-    /// Fail every pending descriptor (connection breakage).
-    fn fail_all_pending(&self, err: VipError) {
-        let mut pending = self.pending.lock();
-        let mut completed = self.completed.lock();
-        for d in pending.drain(..) {
-            d.fail(err);
-            completed.push_back(d);
-        }
-        drop(completed);
-        drop(pending);
+    /// Fail every pending descriptor (connection breakage). Each failed
+    /// descriptor also produces a completion-queue entry — a broken VI
+    /// must be visible to CQ-driven consumers, exactly like a successful
+    /// completion. Returns how many descriptors were failed.
+    fn fail_all_pending(
+        &self,
+        err: VipError,
+        cq: &Option<Arc<CompletionQueue>>,
+        vi_id: u32,
+        kind: WqKind,
+    ) -> usize {
+        let failed = {
+            let mut pending = self.pending.lock();
+            let mut completed = self.completed.lock();
+            let n = pending.len();
+            for d in pending.drain(..) {
+                d.fail(err);
+                completed.push_back(d);
+            }
+            n
+        };
         self.cv.notify_all();
+        if let Some(cq) = cq {
+            for _ in 0..failed {
+                cq.push(CqEntry { vi_id, kind });
+            }
+        }
+        failed
     }
 }
 
@@ -166,8 +183,24 @@ impl Vi {
     /// Break the VI: fail all pending descriptors and wake every waiter.
     pub(crate) fn break_with(&self, err: VipError) {
         self.set_state(ViState::Error(err));
-        self.sq.fail_all_pending(err);
-        self.rq.fail_all_pending(err);
+        self.sq
+            .fail_all_pending(err, &self.send_cq, self.id, WqKind::Send);
+        let rq_failed = self
+            .rq
+            .fail_all_pending(err, &self.recv_cq, self.id, WqKind::Recv);
+        // With nothing pending there is no failed descriptor to surface, so
+        // push one sentinel entry: a CQ-driven layer (SOVIA's progress
+        // engine) still gets woken, polls the VI, and observes the error
+        // state. Consumers that find no completed descriptor behind an
+        // entry already treat it as a spurious wake.
+        if rq_failed == 0 {
+            if let Some(cq) = &self.recv_cq {
+                cq.push(CqEntry {
+                    vi_id: self.id,
+                    kind: WqKind::Recv,
+                });
+            }
+        }
     }
 
     /// `VipPostSend`: queue a send descriptor and ring the doorbell.

@@ -6,9 +6,11 @@
 #
 # Scenarios are matched by their `name` field, never by file order, so
 # adding, removing, or reordering scenarios cannot silently compare the
-# wrong pairs. Scenarios without a `fast_path_on` block (e.g. the
-# suite_fig6_sweep scaling scenario) are tracked in the baseline but not
-# gated.
+# wrong pairs. Gated scenarios expose a wall time either as the first
+# `wall_ms` of a `fast_path_on` block (the A/B scenarios) or as an
+# explicit top-level `gate_wall_ms` (the fault_sweep scenario).
+# Scenarios with neither (e.g. the suite_fig6_sweep scaling scenario)
+# are tracked in the baseline but not gated.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,14 +23,16 @@ NEW=target/BENCH_substrate.new.json
 cargo build --release -p bench --bin perf_report
 ./target/release/perf_report --out "$NEW" >/dev/null
 
-# Emit "name wall_ms" pairs: the fast-path-on wall_ms of each named
-# scenario. A scenario's name precedes its measurement blocks; the
-# `fast_path_on` line opens the block whose first wall_ms we want.
+# Emit "name wall_ms" pairs: each scenario's gated wall time. A
+# scenario's name precedes its measurement blocks; the `fast_path_on`
+# line opens the block whose first wall_ms we want, and scenarios
+# without an A/B pair publish `gate_wall_ms` directly.
 wall_on() {
     awk '
-        /"name":/         { gsub(/[",]/, "", $2); name = $2 }
-        /"fast_path_on"/  { on = 1 }
-        on && /"wall_ms"/ { gsub(/[",]/, "", $2); print name, $2; on = 0 }
+        /"name":/          { gsub(/[",]/, "", $2); name = $2 }
+        /"gate_wall_ms"/   { gsub(/[",]/, "", $2); print name, $2 }
+        /"fast_path_on"/   { on = 1 }
+        on && /"wall_ms"/  { gsub(/[",]/, "", $2); print name, $2; on = 0 }
     ' "$1"
 }
 

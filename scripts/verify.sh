@@ -3,11 +3,23 @@
 # full workspace test run (the root `cargo test` only covers the root
 # package), then the golden-results check (all five results/*.txt must
 # regenerate byte-identically, sequentially and in parallel).
+#
+# The workspace run includes the fault-injection suites (DESIGN.md §8):
+#   - tests/proptest_faults.rs        random lossy streams, exact-or-error
+#   - tests/half_close.rs             teardown + disconnect-while-blocked
+#   - crates/via/tests/error_paths.rs every VipError via the public API
+#   - crates/bench/tests/determinism.rs  empty-plan no-op + sweep identity
+# The explicit invocations below fail loudly if a suite is ever renamed
+# or dropped from the workspace (a silent `0 tests run` would otherwise
+# pass).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo test --workspace -q
+cargo test -q --test proptest_faults --test half_close
+cargo test -q -p via --test error_paths
+cargo test -q -p bench --test determinism
 scripts/regen_results.sh
 echo "tier-1 OK"

@@ -10,7 +10,10 @@
 //!   and SOVIA registered (the full platform of Section 5).
 
 use dsim::{SimCtx, SimHandle, Simulation};
-use simnic::{clan1000_nic, clan_link, fast_ethernet_link, fast_ethernet_nic, EthPort};
+use simnic::{
+    clan1000_nic, clan_link, fast_ethernet_link, fast_ethernet_nic, EthPort, FaultHandle,
+    FaultPlan,
+};
 use simos::{HostCosts, HostId, Machine, Process};
 use sovia::{register_sovia, SoviaConfig};
 use tcpip::{EthDevice, LaneDevice, TcpCosts, TcpProvider, TcpStack};
@@ -26,6 +29,28 @@ pub fn sovia_pair(h: &SimHandle, config: SoviaConfig) -> (Machine, Machine) {
     register_sovia(&m0, config.clone());
     register_sovia(&m1, config);
     (m0, m1)
+}
+
+/// [`sovia_pair`] with per-NIC fault plans installed on the VIA NICs
+/// (`plan0` faults frames/descriptors arriving at or posted on `m0`'s
+/// NIC; `plan1` likewise for `m1`). Empty plans install nothing and the
+/// platform is bit-identical to [`sovia_pair`].
+pub fn sovia_pair_with_faults(
+    h: &SimHandle,
+    config: SoviaConfig,
+    plan0: &FaultPlan,
+    plan1: &FaultPlan,
+) -> (Machine, Machine, FaultHandle, FaultHandle) {
+    let m0 = Machine::new(h, HostId(0), "m0", HostCosts::pentium3_500());
+    let m1 = Machine::new(h, HostId(1), "m1", HostCosts::pentium3_500());
+    let n0 = ViaNic::attach(&m0, ViaNicId(0), clan1000_nic());
+    let n1 = ViaNic::attach(&m1, ViaNicId(1), clan1000_nic());
+    ViaNic::connect_pair(&n0, &n1, clan_link());
+    let f0 = n0.install_faults(plan0);
+    let f1 = n1.install_faults(plan1);
+    register_sovia(&m0, config.clone());
+    register_sovia(&m1, config);
+    (m0, m1, f0, f1)
 }
 
 /// Two hosts wired with cLAN only (native VIA experiments).
@@ -50,6 +75,26 @@ pub fn tcp_ethernet_pair(h: &SimHandle) -> (Machine, Machine) {
     TcpProvider::register(&m0);
     TcpProvider::register(&m1);
     (m0, m1)
+}
+
+/// [`tcp_ethernet_pair`] with lossy wire directions: `plan01` faults
+/// frames travelling `m0 → m1`, `plan10` the reverse path. Empty plans
+/// degrade to the plain fault-free link.
+pub fn tcp_ethernet_pair_with_faults(
+    h: &SimHandle,
+    plan01: &FaultPlan,
+    plan10: &FaultPlan,
+) -> (Machine, Machine, FaultHandle, FaultHandle) {
+    let m0 = Machine::new(h, HostId(0), "m0", HostCosts::pentium3_500());
+    let m1 = Machine::new(h, HostId(1), "m1", HostCosts::pentium3_500());
+    let e0 = EthPort::new(h, HostId(0), fast_ethernet_nic(), fast_ethernet_link());
+    let e1 = EthPort::new(h, HostId(1), fast_ethernet_nic(), fast_ethernet_link());
+    let (f01, f10) = EthPort::connect_with_faults(h, &e0, &e1, plan01, plan10);
+    TcpStack::install(&m0, EthDevice::new(e0), TcpCosts::linux22());
+    TcpStack::install(&m1, EthDevice::new(e1), TcpCosts::linux22());
+    TcpProvider::register(&m0);
+    TcpProvider::register(&m1);
+    (m0, m1, f01, f10)
 }
 
 /// Two cLAN hosts with both `SOCK_STREAM` (TCP over the LANE driver) and

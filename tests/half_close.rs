@@ -6,8 +6,9 @@ use std::sync::Arc;
 
 use dsim::{SimDuration, Simulation};
 use parking_lot::Mutex;
+use simnic::{FaultPlan, ScriptedFault};
 use simos::HostId;
-use sovia_repro::sockets::{api, Shutdown, SockAddr, SockError, SockType};
+use sovia_repro::sockets::{api, Shutdown, SockAddr, SockError, SockOption, SockType};
 use sovia_repro::sovia::SoviaConfig;
 use sovia_repro::testbed;
 
@@ -93,6 +94,186 @@ fn half_close_over_sovia() {
 #[test]
 fn half_close_over_tcp() {
     run_half_close(SockType::Stream);
+}
+
+// ----- disconnect while blocked ---------------------------------------
+//
+// The other half of teardown semantics: a peer that *vanishes* (forced
+// VI disconnect, abortive TCP close) must turn a blocked send()/recv()
+// into a typed error, never leave it parked forever.
+
+/// SOVIA: the server blocks in recv() with nothing in flight; a scripted
+/// fault forcibly disconnects every VI at t = 5 ms. The blocked recv must
+/// surface `ConnectionReset`.
+#[test]
+fn sovia_disconnect_during_blocking_recv() {
+    let mut sim = Simulation::new();
+    let plan0 = FaultPlan::empty().with_scripted(ScriptedFault::DisconnectAt {
+        at: SimDuration::from_millis(5),
+    });
+    let (m0, m1, f0, _f1) = testbed::sovia_pair_with_faults(
+        &sim.handle(),
+        SoviaConfig::default(),
+        &plan0,
+        &FaultPlan::empty(),
+    );
+    let seen = Arc::new(Mutex::new(None));
+    let seen2 = Arc::clone(&seen);
+    sim.spawn("boot", move |ctx| {
+        let (cp, sp) = testbed::procs(&m0, &m1);
+        {
+            let seen = Arc::clone(&seen2);
+            ctx.handle().spawn("server", move |sctx| {
+                let s = api::socket(sctx, &sp, SockType::Via).unwrap();
+                api::bind(sctx, &sp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+                api::listen(sctx, &sp, s, 1).unwrap();
+                let (c, _) = api::accept(sctx, &sp, s).unwrap();
+                // Nothing ever arrives: parked here when the VI breaks.
+                *seen.lock() = Some(api::recv(sctx, &sp, c, 1024));
+                let _ = api::close(sctx, &sp, c);
+                let _ = api::close(sctx, &sp, s);
+            });
+        }
+        ctx.handle().spawn("client", move |cctx| {
+            cctx.sleep(SimDuration::from_millis(1));
+            let s = api::socket(cctx, &cp, SockType::Via).unwrap();
+            api::connect(cctx, &cp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+            cctx.sleep(SimDuration::from_millis(20));
+            let _ = api::close(cctx, &cp, s);
+        });
+    });
+    sim.run().unwrap();
+    assert_eq!(*seen.lock(), Some(Err(SockError::ConnectionReset)));
+    assert!(f0.stats().forced_disconnects >= 1);
+}
+
+/// SOVIA: stop-and-wait config (one credit). The first send consumes it;
+/// with the server never reading, the second send parks in wait-credit
+/// until the scripted disconnect breaks the VI under it.
+#[test]
+fn sovia_disconnect_during_blocking_send() {
+    let mut sim = Simulation::new();
+    let plan0 = FaultPlan::empty().with_scripted(ScriptedFault::DisconnectAt {
+        at: SimDuration::from_millis(5),
+    });
+    let (m0, m1, f0, _f1) = testbed::sovia_pair_with_faults(
+        &sim.handle(),
+        SoviaConfig::single(),
+        &plan0,
+        &FaultPlan::empty(),
+    );
+    let seen = Arc::new(Mutex::new(None));
+    let seen2 = Arc::clone(&seen);
+    sim.spawn("boot", move |ctx| {
+        let (cp, sp) = testbed::procs(&m0, &m1);
+        {
+            ctx.handle().spawn("server", move |sctx| {
+                let s = api::socket(sctx, &sp, SockType::Via).unwrap();
+                api::bind(sctx, &sp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+                api::listen(sctx, &sp, s, 1).unwrap();
+                let (c, _) = api::accept(sctx, &sp, s).unwrap();
+                // Never recv: no credits are ever returned.
+                sctx.sleep(SimDuration::from_millis(50));
+                let _ = api::close(sctx, &sp, c);
+                let _ = api::close(sctx, &sp, s);
+            });
+        }
+        let seen = Arc::clone(&seen2);
+        ctx.handle().spawn("client", move |cctx| {
+            cctx.sleep(SimDuration::from_millis(1));
+            let s = api::socket(cctx, &cp, SockType::Via).unwrap();
+            api::connect(cctx, &cp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+            let data = vec![7u8; 4096];
+            api::send(cctx, &cp, s, &data).unwrap();
+            // Credit exhausted: this one blocks, then the VI breaks.
+            *seen.lock() = Some(api::send(cctx, &cp, s, &data));
+            let _ = api::close(cctx, &cp, s);
+        });
+    });
+    sim.run().unwrap();
+    assert_eq!(*seen.lock(), Some(Err(SockError::ConnectionReset)));
+    assert!(f0.stats().forced_disconnects >= 1);
+}
+
+/// TCP: the server blocks in recv() while the client closes with the
+/// server's greeting still unread — an abortive close (BSD semantics), so
+/// the RST must turn the server's blocked recv into `ConnectionReset`,
+/// not a clean EOF.
+#[test]
+fn tcp_disconnect_during_blocking_recv() {
+    let mut sim = Simulation::new();
+    let (m0, m1) = testbed::tcp_ethernet_pair(&sim.handle());
+    let seen = Arc::new(Mutex::new(None));
+    let seen2 = Arc::clone(&seen);
+    sim.spawn("boot", move |ctx| {
+        let (cp, sp) = testbed::procs(&m0, &m1);
+        {
+            let seen = Arc::clone(&seen2);
+            ctx.handle().spawn("server", move |sctx| {
+                let s = api::socket(sctx, &sp, SockType::Stream).unwrap();
+                api::bind(sctx, &sp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+                api::listen(sctx, &sp, s, 1).unwrap();
+                let (c, _) = api::accept(sctx, &sp, s).unwrap();
+                // A greeting the client will never read...
+                api::send_all(sctx, &sp, c, &[1u8; 1024]).unwrap();
+                // ...then block for a request that never comes.
+                *seen.lock() = Some(api::recv(sctx, &sp, c, 1024));
+                let _ = api::close(sctx, &sp, c);
+                let _ = api::close(sctx, &sp, s);
+            });
+        }
+        ctx.handle().spawn("client", move |cctx| {
+            cctx.sleep(SimDuration::from_millis(1));
+            let s = api::socket(cctx, &cp, SockType::Stream).unwrap();
+            api::connect(cctx, &cp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+            // Let the greeting land in the receive buffer, then close
+            // without reading it: abortive close, RST to the peer.
+            cctx.sleep(SimDuration::from_millis(5));
+            let _ = api::close(cctx, &cp, s);
+        });
+    });
+    sim.run().unwrap();
+    assert_eq!(*seen.lock(), Some(Err(SockError::ConnectionReset)));
+}
+
+/// TCP: the client fills the peer's advertised window plus its own send
+/// buffer and parks in send(); the server then closes with all that data
+/// unread. The RST must turn the blocked send into `ConnectionReset`.
+#[test]
+fn tcp_disconnect_during_blocking_send() {
+    let mut sim = Simulation::new();
+    let (m0, m1) = testbed::tcp_ethernet_pair(&sim.handle());
+    let seen = Arc::new(Mutex::new(None));
+    let seen2 = Arc::clone(&seen);
+    sim.spawn("boot", move |ctx| {
+        let (cp, sp) = testbed::procs(&m0, &m1);
+        {
+            ctx.handle().spawn("server", move |sctx| {
+                let s = api::socket(sctx, &sp, SockType::Stream).unwrap();
+                api::bind(sctx, &sp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+                api::listen(sctx, &sp, s, 1).unwrap();
+                let (c, _) = api::accept(sctx, &sp, s).unwrap();
+                // Read nothing; close with the window's worth of data
+                // sitting unread in the receive buffer.
+                sctx.sleep(SimDuration::from_millis(30));
+                let _ = api::close(sctx, &sp, c);
+                let _ = api::close(sctx, &sp, s);
+            });
+        }
+        let seen = Arc::clone(&seen2);
+        ctx.handle().spawn("client", move |cctx| {
+            cctx.sleep(SimDuration::from_millis(1));
+            let s = api::socket(cctx, &cp, SockType::Stream).unwrap();
+            api::connect(cctx, &cp, s, SockAddr::new(HostId(1), PORT)).unwrap();
+            api::set_option(cctx, &cp, s, SockOption::SendBuf(8192)).unwrap();
+            // Far more than peer window + send buffer: send() must park.
+            let data = vec![9u8; 200 * 1024];
+            *seen.lock() = Some(api::send_all(cctx, &cp, s, &data));
+            let _ = api::close(cctx, &cp, s);
+        });
+    });
+    sim.run().unwrap();
+    assert_eq!(*seen.lock(), Some(Err(SockError::ConnectionReset)));
 }
 
 #[test]
