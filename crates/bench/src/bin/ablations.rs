@@ -1,13 +1,24 @@
 //! Design-choice ablations (window size, ACK threshold, copy threshold,
 //! handler-thread penalty).
 //!
-//!   cargo run -p bench --release --bin ablations [-- --threads N]
+//!   cargo run -p bench --release --bin ablations [-- --threads N] [--trace out.json]
 //!
 //! `--threads` (or `SOVIA_BENCH_THREADS`) caps concurrent simulations;
-//! the output is byte-identical at any thread count.
+//! the output is byte-identical at any thread count. `--trace` re-runs
+//! the 2 KB ablation workload (two-way vs REQ/ACK handshake latency and
+//! the COMBINE stream) with tracing enabled and writes a Chrome
+//! trace-event (Perfetto) JSON file.
+
+use bench::micro::Variant;
+use bench::{cli, figures, micro};
+use dsim::{SchedConfig, TraceConfig};
+use sovia::SoviaConfig;
 
 fn main() {
-    let threads = bench::runner::resolve_threads(bench::runner::cli_threads("ablations"));
+    let args = cli::BenchCli::parse_env();
+    args.reject_rest("ablations");
+    args.reject_seed("ablations");
+    let threads = args.threads();
     let w = bench::ablate::window_sweep(2048, &[1, 2, 4, 8, 16, 32, 64], threads);
     println!("# Ablation: window size w (bandwidth at 2KB messages, Mbps)");
     for (x, v) in &w.points {
@@ -37,5 +48,48 @@ fn main() {
     println!("# Ablation: handler-thread latency penalty vs message size (usec)");
     for (x, v) in &h.points {
         println!("  size={x:<6} {v:>8.1}");
+    }
+    if let Some(path) = &args.trace {
+        let reps = [
+            (
+                "SOVIA two-way 2KB latency",
+                Variant::Sovia(SoviaConfig::single()),
+                false,
+            ),
+            (
+                "REQ/ACK three-way 2KB latency",
+                Variant::Sovia(SoviaConfig::reqack()),
+                false,
+            ),
+            (
+                "SOVIA_COMBINE 2KB stream",
+                Variant::Sovia(SoviaConfig::combine()),
+                true,
+            ),
+        ];
+        let parts: Vec<_> = reps
+            .iter()
+            .map(|(label, v, stream)| {
+                let out = if *stream {
+                    micro::bandwidth_traced(
+                        v,
+                        2048,
+                        figures::bandwidth_total(2048),
+                        SchedConfig::default(),
+                        Some(TraceConfig::default()),
+                    )
+                } else {
+                    micro::latency_traced(
+                        v,
+                        2048,
+                        30,
+                        SchedConfig::default(),
+                        Some(TraceConfig::default()),
+                    )
+                };
+                (label.to_string(), out.trace.expect("tracing was enabled"))
+            })
+            .collect();
+        cli::write_trace(path, &parts);
     }
 }

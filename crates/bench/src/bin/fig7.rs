@@ -1,21 +1,46 @@
 //! Regenerate Figure 7: average elapsed time for a single RPC.
 //!
-//!   cargo run -p bench --release --bin fig7 [-- --threads N]
+//!   cargo run -p bench --release --bin fig7 [-- --threads N] [--trace out.json]
 //!
 //! `--threads` (or `SOVIA_BENCH_THREADS`) caps concurrent simulations;
-//! the output is byte-identical at any thread count.
+//! the output is byte-identical at any thread count. `--trace` re-runs
+//! every platform's 128-byte point with tracing enabled and writes a
+//! Chrome trace-event (Perfetto) JSON file.
+
+use bench::{cli, fig7, micro};
+use dsim::TraceConfig;
 
 fn main() {
-    let threads = bench::runner::resolve_threads(bench::runner::cli_threads("fig7"));
-    let sizes = bench::fig7::FIG7_SIZES;
-    let series = bench::fig7::run_fig7_with(&sizes, threads);
+    let args = cli::BenchCli::parse_env();
+    args.reject_rest("fig7");
+    args.reject_seed("fig7");
+    let sizes = fig7::FIG7_SIZES;
+    let series = fig7::run_fig7_with(&sizes, args.threads());
     print!(
         "{}",
-        bench::micro::render_table(
+        micro::render_table(
             "Figure 7: Average elapsed time for a single RPC",
             "usec",
             &sizes,
             &series
         )
     );
+    if let Some(path) = &args.trace {
+        let platforms = [
+            fig7::RpcPlatform::TcpFastEthernet,
+            fig7::RpcPlatform::TcpClan,
+            fig7::RpcPlatform::SoviaClan,
+        ];
+        let parts: Vec<_> = platforms
+            .iter()
+            .map(|&p| {
+                let out = fig7::rpc_elapsed_traced(p, 128, Some(TraceConfig::default()));
+                (
+                    format!("{} 128B RPC", p.label()),
+                    out.trace.expect("tracing was enabled"),
+                )
+            })
+            .collect();
+        cli::write_trace(path, &parts);
+    }
 }

@@ -16,17 +16,25 @@
 //!   speedup, and aggregate event throughput. The rendered tables and
 //!   per-simulation event counts are asserted byte-identical across the
 //!   two thread counts: parallelism is host-side only (DESIGN.md §7).
+//! * **`latency_breakdown`** — the traced per-layer decomposition of the
+//!   4-byte round-trip ([`bench::breakdown`]): per-component µs that sum
+//!   exactly to the Figure 6(a) one-way latency, plus per-process
+//!   virtual-runtime / wakeup accounting ([`dsim::ProcStats`]) for each
+//!   variant's simulation.
 //!
-//!   cargo run -p bench --release --bin perf_report [-- --out PATH] [--threads N]
+//!   cargo run -p bench --release --bin perf_report -- \
+//!   [--out PATH] [--threads N] [--trace out.json]
 //!
 //! `scripts/bench.sh` wraps this and compares against the committed
-//! baseline, matching scenarios by name.
+//! baseline, matching scenarios by name (`gate_wall_ms` fields are the
+//! regression-gated handles). `--trace` additionally writes the
+//! breakdown runs as a Chrome trace-event (Perfetto) JSON file.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use bench::figures::{self, SweepOutcome};
-use bench::runner;
+use bench::{breakdown, cli, runner};
 use dsim::sync::SimQueue;
 use dsim::{SchedConfig, SchedStats, Simulation};
 use sovia::SoviaConfig;
@@ -331,11 +339,89 @@ fn render_fault_scenario(threads: usize) -> String {
     )
 }
 
+/// The breakdown scenario: traced 4-byte latency decomposition per
+/// variant, with per-component µs summing to the one-way latency and
+/// the per-process runtime/wakeup accounting of each simulation.
+/// `gate_wall_ms` is the handle `scripts/bench.sh` gates on.
+fn render_breakdown_scenario(trace_path: Option<&str>) -> String {
+    let t0 = Instant::now();
+    let rows = breakdown::latency_breakdown(4, figures::LATENCY_ROUNDS);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let per_msg = |ns: u64| ns as f64 / f64::from(figures::LATENCY_ROUNDS) / 2.0 / 1e3;
+    let variants: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let comps: Vec<String> = breakdown::COMPONENTS
+                .iter()
+                .enumerate()
+                .map(|(ci, c)| {
+                    let ns = r.attribution.by_component[ci].1;
+                    format!(
+                        "            {{\"component\": \"{}\", \"us_per_msg\": {:.3}, \
+                         \"pct\": {:.1}}}",
+                        c.name(),
+                        per_msg(ns),
+                        ns as f64 * 100.0 / r.attribution.window_ns as f64,
+                    )
+                })
+                .collect();
+            let mut procs = r.procs.clone();
+            procs.sort_by(|a, b| b.runtime.cmp(&a.runtime).then(a.pid.cmp(&b.pid)));
+            let procs: Vec<String> = procs
+                .iter()
+                .take(5)
+                .map(|p| {
+                    format!(
+                        "            {{\"name\": \"{}\", \"runtime_us\": {:.1}, \
+                         \"wakeups\": {}}}",
+                        p.name,
+                        p.runtime.as_micros_f64(),
+                        p.wakeups,
+                    )
+                })
+                .collect();
+            format!(
+                "        {{\n          \"label\": \"{}\",\n          \
+                 \"one_way_us\": {:.3},\n          \"components\": [\n{}\n          ],\n          \
+                 \"top_procs\": [\n{}\n          ]\n        }}",
+                r.label,
+                per_msg(r.attribution.window_ns),
+                comps.join(",\n"),
+                procs.join(",\n"),
+            )
+        })
+        .collect();
+    let share = |r: &breakdown::VariantBreakdown| {
+        (r.attribution.ns(breakdown::Component::Syscall) as f64
+            + r.attribution.ns(breakdown::Component::Copy) as f64)
+            * 100.0
+            / r.attribution.window_ns as f64
+    };
+    eprintln!(
+        "latency_breakdown: wall {:.0} ms; syscall+copy share {:.1}% ({}) vs {:.1}% ({})",
+        wall_ms,
+        share(&rows[0]),
+        rows[0].label,
+        share(&rows[2]),
+        rows[2].label,
+    );
+    if let Some(path) = trace_path {
+        cli::write_trace(path, &breakdown::trace_parts("latency 4B", &rows));
+    }
+    format!(
+        "    {{\n      \"name\": \"latency_breakdown\",\n      \"gate_wall_ms\": {wall_ms:.3},\n      \
+         \"message_bytes\": 4,\n      \"rounds\": {},\n      \"variants\": [\n{}\n      ]\n    }}",
+        figures::LATENCY_ROUNDS,
+        variants.join(",\n"),
+    )
+}
+
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = runner::resolve_threads(runner::take_threads_arg(&mut args));
+    let args = cli::BenchCli::parse_env();
+    args.reject_seed("perf_report");
+    let threads = args.threads();
     let mut out_path = String::from("BENCH_substrate.json");
-    let mut it = args.into_iter();
+    let mut it = args.rest.clone().into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--out" => match it.next() {
@@ -347,7 +433,8 @@ fn main() {
             },
             other => {
                 eprintln!(
-                    "error: unknown argument {other:?} (supported: --out PATH, --threads N)"
+                    "error: unknown argument {other:?} \
+                     (supported: --out PATH, --threads N, --trace PATH)"
                 );
                 std::process::exit(2);
             }
@@ -391,6 +478,7 @@ fn main() {
     });
     let fault_json = render_fault_scenario(threads);
     let suite_json = render_suite_scenario(threads);
+    let breakdown_json = render_breakdown_scenario(args.trace.as_deref());
 
     // Acceptance summary: best coordinator round-trip reduction and best
     // wall-clock reduction across the A/B scenarios.
@@ -405,7 +493,7 @@ fn main() {
 
     let json = format!(
         "{{\n  \"pingpong_rounds\": {PINGPONG_ROUNDS},\n  \"stream_msg_bytes\": {STREAM_MSG},\n  \
-         \"stream_total_bytes\": {STREAM_TOTAL},\n  \"reps\": {REPS},\n  \"scenarios\": [\n{pp_json},\n{st_json},\n{fault_json},\n{suite_json}\n  ],\n  \
+         \"stream_total_bytes\": {STREAM_TOTAL},\n  \"reps\": {REPS},\n  \"scenarios\": [\n{pp_json},\n{st_json},\n{fault_json},\n{suite_json},\n{breakdown_json}\n  ],\n  \
          \"best_coordinator_roundtrip_reduction_x\": {best_rt:.2},\n  \
          \"best_wall_clock_reduction_pct\": {best_wall:.1}\n}}\n"
     );

@@ -1,13 +1,39 @@
 //! Regenerate Table 1: FTP file-transfer performance.
 //!
-//!   cargo run -p bench --release --bin table1 [-- --threads N]
+//!   cargo run -p bench --release --bin table1 [-- --threads N] [--trace out.json]
 //!
 //! `--threads` (or `SOVIA_BENCH_THREADS`) caps concurrent simulations;
-//! the output is byte-identical at any thread count.
+//! the output is byte-identical at any thread count. `--trace` re-runs
+//! the three network platforms' File 1 transfer with tracing enabled and
+//! writes a Chrome trace-event (Perfetto) JSON file.
+
+use bench::{cli, table1};
+use dsim::TraceConfig;
 
 fn main() {
-    let threads = bench::runner::resolve_threads(bench::runner::cli_threads("table1"));
-    let sizes = bench::table1::FILE_SIZES;
-    let rows = bench::table1::run_table1_with(&sizes, threads);
-    print!("{}", bench::table1::render(&rows, &sizes));
+    let args = cli::BenchCli::parse_env();
+    args.reject_rest("table1");
+    args.reject_seed("table1");
+    let sizes = table1::FILE_SIZES;
+    let rows = table1::run_table1_with(&sizes, args.threads());
+    print!("{}", table1::render(&rows, &sizes));
+    if let Some(path) = &args.trace {
+        let platforms = [
+            table1::Platform::TcpFastEthernet,
+            table1::Platform::TcpClan,
+            table1::Platform::SoviaClan,
+        ];
+        let parts: Vec<_> = platforms
+            .iter()
+            .map(|&p| {
+                let (_, trace) =
+                    table1::ftp_transfer_traced(p, sizes[0], Some(TraceConfig::default()));
+                (
+                    format!("{} file1 FTP", p.label()),
+                    trace.expect("tracing was enabled"),
+                )
+            })
+            .collect();
+        cli::write_trace(path, &parts);
+    }
 }

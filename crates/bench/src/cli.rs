@@ -1,0 +1,150 @@
+//! Shared command-line parsing for the bench binaries.
+//!
+//! Every binary accepts the same substrate flags, parsed here so the
+//! seven `src/bin/` mains cannot drift apart:
+//!
+//! * `--threads N` (or `--threads=N`) — cap on concurrent simulations
+//!   (falls back to `SOVIA_BENCH_THREADS`, then host parallelism).
+//!   Output is byte-identical at any value (DESIGN.md §7).
+//! * `--seed N` — base RNG seed override, for binaries with randomized
+//!   fault plans (`fault_sweep`); others reject it via
+//!   [`BenchCli::reject_seed`].
+//! * `--trace PATH` — after the normal output, re-run a small set of
+//!   representative points with tracing enabled and write a Chrome
+//!   trace-event (Perfetto / `chrome://tracing`) JSON file to PATH.
+//!   The traced re-runs are sequential and fully deterministic: the
+//!   written bytes are identical at any `--threads` value, and the
+//!   binary's normal output is unchanged.
+//!
+//! Binary-specific flags (e.g. `perf_report --out`) stay in
+//! [`BenchCli::rest`] for the binary to consume.
+
+use crate::runner;
+
+/// Parsed shared flags of a bench binary invocation.
+#[derive(Debug, Clone, Default)]
+pub struct BenchCli {
+    /// Explicit `--threads N`, if given.
+    pub threads: Option<usize>,
+    /// Explicit `--seed N`, if given.
+    pub seed: Option<u64>,
+    /// `--trace PATH`, if given.
+    pub trace: Option<String>,
+    /// Arguments the shared parser did not recognize.
+    pub rest: Vec<String>,
+}
+
+impl BenchCli {
+    /// Parse the process arguments (shared flags consumed, the remainder
+    /// left in [`BenchCli::rest`]).
+    pub fn parse_env() -> BenchCli {
+        BenchCli::parse_from(std::env::args().skip(1).collect())
+    }
+
+    /// Parse an explicit argument list.
+    pub fn parse_from(mut args: Vec<String>) -> BenchCli {
+        let threads = take_value(&mut args, "--threads").map(|v| match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => die(&format!("--threads requires a positive integer, got {v:?}")),
+        });
+        let seed = take_value(&mut args, "--seed").map(|v| match v.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => die(&format!("--seed requires an unsigned integer, got {v:?}")),
+        });
+        let trace = take_value(&mut args, "--trace");
+        BenchCli {
+            threads,
+            seed,
+            trace,
+            rest: args,
+        }
+    }
+
+    /// The resolved jobs-in-flight cap (`--threads`, else
+    /// `SOVIA_BENCH_THREADS`, else available parallelism).
+    pub fn threads(&self) -> usize {
+        runner::resolve_threads(self.threads)
+    }
+
+    /// Exit with a usage error unless every argument was recognized.
+    pub fn reject_rest(&self, bin: &str) {
+        if let Some(extra) = self.rest.first() {
+            die(&format!(
+                "unknown argument {extra:?} (usage: {bin} [--threads N] [--trace PATH])"
+            ));
+        }
+    }
+
+    /// Exit with a usage error if `--seed` was passed to a binary whose
+    /// workload has no seed to override.
+    pub fn reject_seed(&self, bin: &str) {
+        if self.seed.is_some() {
+            die(&format!("{bin} takes no --seed (its workloads are unseeded)"));
+        }
+    }
+}
+
+/// Extract `--flag V` (or `--flag=V`) from `args`, removing the consumed
+/// tokens. Exits with status 2 when the value is missing.
+pub(crate) fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            die(&format!("{flag} requires a value"));
+        }
+        let v = args.remove(pos + 1);
+        args.remove(pos);
+        return Some(v);
+    }
+    let prefix = format!("{flag}=");
+    if let Some(pos) = args.iter().position(|a| a.starts_with(&prefix)) {
+        let a = args.remove(pos);
+        return Some(a[prefix.len()..].to_string());
+    }
+    None
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Write `parts` as a Chrome trace-event JSON file to `path` (the
+/// `--trace` consumer every binary shares). The JSON depends only on
+/// virtual time, so it is byte-identical run to run.
+pub fn write_trace(path: &str, parts: &[(String, dsim::TraceData)]) {
+    let json = dsim::chrome_trace_json(parts);
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("error: writing trace to {path}: {e}");
+        std::process::exit(1);
+    }
+    let events: usize = parts.iter().map(|(_, d)| d.events.len()).sum();
+    eprintln!("wrote {path} ({} simulations, {events} events)", parts.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_shared_flags_and_keeps_rest() {
+        let cli = BenchCli::parse_from(argv(&[
+            "--out", "x.json", "--threads", "4", "--trace=t.json", "--seed", "7",
+        ]));
+        assert_eq!(cli.threads, Some(4));
+        assert_eq!(cli.seed, Some(7));
+        assert_eq!(cli.trace.as_deref(), Some("t.json"));
+        assert_eq!(cli.rest, argv(&["--out", "x.json"]));
+    }
+
+    #[test]
+    fn absent_flags_are_none() {
+        let cli = BenchCli::parse_from(vec![]);
+        assert_eq!(cli.threads, None);
+        assert_eq!(cli.seed, None);
+        assert!(cli.trace.is_none() && cli.rest.is_empty());
+    }
+}

@@ -68,7 +68,22 @@ pub fn lossy_tcp_stream(
     total: usize,
     sched: SchedConfig,
 ) -> FaultPoint {
-    let mut sim = Simulation::with_config(sched);
+    lossy_tcp_stream_traced(loss_p, seed, msg, total, sched, None).0
+}
+
+/// [`lossy_tcp_stream`] with optional tracing; the sink brackets the
+/// first-to-last-byte goodput window with measurement marks, so the
+/// trace window matches the reported goodput interval (retransmission
+/// stalls and `FaultDrop` instants land inside it).
+pub fn lossy_tcp_stream_traced(
+    loss_p: f64,
+    seed: u64,
+    msg: usize,
+    total: usize,
+    sched: SchedConfig,
+    trace: Option<dsim::TraceConfig>,
+) -> (FaultPoint, Option<dsim::TraceData>) {
+    let mut sim = Simulation::with_config_and_trace(sched, trace);
     let h = sim.handle();
     let plan = if loss_p > 0.0 {
         FaultPlan::drops(seed, loss_p)
@@ -102,6 +117,11 @@ pub fn lossy_tcp_stream(
                 let now = ctx.now();
                 if t_first.is_none() {
                     t_first = Some(now);
+                    ctx.trace_instant(
+                        dsim::TraceLayer::App,
+                        dsim::TraceKind::MarkStart,
+                        dsim::TraceTag::default(),
+                    );
                 } else {
                     let stall = now.since(t_last).as_micros_f64();
                     if stall > max_stall {
@@ -111,6 +131,11 @@ pub fn lossy_tcp_stream(
                 t_last = now;
                 got += d.len();
             }
+            ctx.trace_instant(
+                dsim::TraceLayer::App,
+                dsim::TraceKind::MarkEnd,
+                dsim::TraceTag::default(),
+            );
             if let Some(t0) = t_first {
                 let secs = t_last.since(t0).as_secs_f64();
                 if secs > 0.0 {
@@ -138,20 +163,36 @@ pub fn lossy_tcp_stream(
     });
     sim.run().expect("fault-sweep simulation failed");
     let (goodput_mbps, max_stall_us) = *out.lock();
-    FaultPoint {
-        loss_p,
-        goodput_mbps,
-        max_stall_us,
-        faults: f01.stats(),
-        stats: sim.sched_stats(),
-    }
+    (
+        FaultPoint {
+            loss_p,
+            goodput_mbps,
+            max_stall_us,
+            faults: f01.stats(),
+            stats: sim.sched_stats(),
+        },
+        sim.take_trace(),
+    )
 }
 
-/// Run the whole sweep on at most `threads` concurrent simulations.
+/// Run the whole sweep on at most `threads` concurrent simulations,
+/// seeded with [`SWEEP_SEED`].
 pub fn run_fault_sweep(threads: usize, sched: SchedConfig) -> Vec<FaultPoint> {
+    run_fault_sweep_seeded(threads, sched, SWEEP_SEED)
+}
+
+/// Run the whole sweep with an explicit base seed: point `i` seeds its
+/// fault lane with `base_seed ^ i`, so the default seed reproduces the
+/// checked-in `results/fault_sweep.txt` while `--seed` explores other
+/// fault schedules.
+pub fn run_fault_sweep_seeded(
+    threads: usize,
+    sched: SchedConfig,
+    base_seed: u64,
+) -> Vec<FaultPoint> {
     let jobs: Vec<(usize, f64)> = LOSS_RATES.iter().copied().enumerate().collect();
     runner::par_map(&jobs, threads, |_, &(i, p)| {
-        lossy_tcp_stream(p, SWEEP_SEED ^ i as u64, STREAM_MSG, STREAM_TOTAL, sched)
+        lossy_tcp_stream(p, base_seed ^ i as u64, STREAM_MSG, STREAM_TOTAL, sched)
     })
 }
 

@@ -47,7 +47,17 @@ impl RpcPlatform {
 /// Mean elapsed µs for a single RPC with an `arg_len`-byte string
 /// argument (0 = void).
 pub fn rpc_elapsed_us(platform: RpcPlatform, arg_len: usize) -> f64 {
-    let mut sim = Simulation::new();
+    rpc_elapsed_traced(platform, arg_len, None).value
+}
+
+/// [`rpc_elapsed_us`] with optional tracing; the timed calls are
+/// bracketed by measurement-window marks.
+pub fn rpc_elapsed_traced(
+    platform: RpcPlatform,
+    arg_len: usize,
+    trace: Option<dsim::TraceConfig>,
+) -> crate::micro::RunOutput {
+    let mut sim = Simulation::with_config_and_trace(dsim::SchedConfig::default(), trace);
     let out = Arc::new(Mutex::new(0f64));
     let transport = match platform {
         RpcPlatform::SoviaClan => Transport::Via,
@@ -65,10 +75,20 @@ pub fn rpc_elapsed_us(platform: RpcPlatform, arg_len: usize) -> f64 {
                 let arg = "x".repeat(arg_len);
                 // Warm-up call.
                 do_call(cctx, &clnt, &arg, arg_len);
+                cctx.trace_instant(
+                    dsim::TraceLayer::App,
+                    dsim::TraceKind::MarkStart,
+                    dsim::TraceTag::default(),
+                );
                 let t0 = cctx.now();
                 for _ in 0..CALLS {
                     do_call(cctx, &clnt, &arg, arg_len);
                 }
+                cctx.trace_instant(
+                    dsim::TraceLayer::App,
+                    dsim::TraceKind::MarkEnd,
+                    dsim::TraceTag::default(),
+                );
                 *out.lock() = cctx.now().since(t0).as_micros_f64() / f64::from(CALLS);
                 clnt.destroy(cctx);
             });
@@ -87,7 +107,12 @@ pub fn rpc_elapsed_us(platform: RpcPlatform, arg_len: usize) -> f64 {
     }
     sim.run().expect("RPC simulation failed");
     let v = *out.lock();
-    v
+    crate::micro::RunOutput {
+        value: v,
+        stats: sim.sched_stats(),
+        procs: sim.proc_stats(),
+        trace: sim.take_trace(),
+    }
 }
 
 fn do_call(ctx: &dsim::SimCtx, clnt: &apps::rpc::client::Clnt, arg: &str, arg_len: usize) {

@@ -11,15 +11,23 @@
 //! * [`fault_sweep`] — TCP goodput and recovery latency vs frame loss on
 //!   a lossy Fast Ethernet link (the `simnic::faults` layer end to end);
 //! * [`micro`] — the underlying ping-pong / streaming measurement engine;
+//! * [`breakdown`] — per-layer decomposition of the end-to-end numbers
+//!   from `dsim::trace` spans (the `latency_breakdown` binary);
 //! * [`runner`] — the bounded parallel runner the sweeps go through
-//!   (every measurement point is a fresh, independent simulation).
+//!   (every measurement point is a fresh, independent simulation);
+//! * [`cli`] — the shared `--threads` / `--seed` / `--trace` parsing of
+//!   every bench binary.
 //!
 //! Binaries `fig6a`, `fig6b`, `table1`, `fig7` and `ablations` print the
-//! paper-style tables; Criterion benches wrap representative points.
+//! paper-style tables; `latency_breakdown` decomposes the headline
+//! numbers per layer; Criterion benches wrap representative points. All
+//! of them take `--trace PATH` to emit a Perfetto-loadable trace.
 
 #![warn(missing_docs)]
 
 pub mod ablate;
+pub mod breakdown;
+pub mod cli;
 pub mod fault_sweep;
 pub mod fig7;
 pub mod figures;

@@ -7,7 +7,10 @@
 
 use std::sync::Arc;
 
-use dsim::{SchedConfig, SchedStats, SimDuration, Simulation};
+use dsim::{
+    ProcStats, SchedConfig, SchedStats, SimDuration, Simulation, TraceConfig, TraceData,
+    TraceKind, TraceLayer, TraceTag,
+};
 use parking_lot::Mutex;
 use simos::HostId;
 use sockets::{api, SockAddr, SockOption, SockType};
@@ -61,6 +64,31 @@ pub struct Series {
 
 const PORT: u16 = 9000;
 
+/// Everything one (optionally traced) measurement simulation reports.
+///
+/// The untraced entry points return `(value, stats)` tuples; the
+/// `*_traced` variants return this, adding per-process accounting and —
+/// when a [`TraceConfig`] was supplied — the drained trace. Tracing
+/// observes, never perturbs: `value` and `stats` are identical whether
+/// `trace` was `None` or `Some`.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The measured metric (µs for latency runs, Mb/s for bandwidth runs).
+    pub value: f64,
+    /// Whole-simulation scheduler counters.
+    pub stats: SchedStats,
+    /// Per-process virtual run-time / wakeup accounting, pid order.
+    pub procs: Vec<ProcStats>,
+    /// The recorded trace, when tracing was enabled.
+    pub trace: Option<TraceData>,
+}
+
+/// Emit a measurement-window marker (a zero-width instant: no virtual
+/// time passes, so marks never perturb a measurement).
+fn mark(ctx: &dsim::SimCtx, kind: TraceKind) {
+    ctx.trace_instant(TraceLayer::App, kind, TraceTag::default());
+}
+
 /// Half mean round-trip time for `size`-byte messages, in µs.
 pub fn latency_us(variant: &Variant, size: usize, rounds: u32) -> f64 {
     latency_with_sched(variant, size, rounds, SchedConfig::default()).0
@@ -81,13 +109,8 @@ pub fn latency_with_sched(
     rounds: u32,
     sched: SchedConfig,
 ) -> (f64, SchedStats) {
-    match variant {
-        Variant::NativeVia => native_via_latency_with_sched(size, rounds, sched),
-        Variant::TcpLane => socket_latency_with_sched(None, size, rounds, sched),
-        Variant::Sovia(config) => {
-            socket_latency_with_sched(Some(config.clone()), size, rounds, sched)
-        }
-    }
+    let out = latency_traced(variant, size, rounds, sched, None);
+    (out.value, out.stats)
 }
 
 /// [`bandwidth_mbps`] under an explicit scheduler configuration, with
@@ -98,11 +121,44 @@ pub fn bandwidth_with_sched(
     total: usize,
     sched: SchedConfig,
 ) -> (f64, SchedStats) {
+    let out = bandwidth_traced(variant, size, total, sched, None);
+    (out.value, out.stats)
+}
+
+/// [`latency_with_sched`] with optional tracing. The measured rounds are
+/// bracketed by [`TraceKind::MarkStart`] / [`TraceKind::MarkEnd`] App
+/// instants, so the trace's measurement window is exactly the timed
+/// interval the latency number comes from.
+pub fn latency_traced(
+    variant: &Variant,
+    size: usize,
+    rounds: u32,
+    sched: SchedConfig,
+    trace: Option<TraceConfig>,
+) -> RunOutput {
     match variant {
-        Variant::NativeVia => native_via_bandwidth_with_sched(size, total, sched),
-        Variant::TcpLane => socket_bandwidth_with_sched(None, size, total, sched),
+        Variant::NativeVia => native_via_latency_traced(size, rounds, sched, trace),
+        Variant::TcpLane => socket_latency_traced(None, size, rounds, sched, trace),
         Variant::Sovia(config) => {
-            socket_bandwidth_with_sched(Some(config.clone()), size, total, sched)
+            socket_latency_traced(Some(config.clone()), size, rounds, sched, trace)
+        }
+    }
+}
+
+/// [`bandwidth_with_sched`] with optional tracing; the steady-state
+/// measurement window is marked as in [`latency_traced`].
+pub fn bandwidth_traced(
+    variant: &Variant,
+    size: usize,
+    total: usize,
+    sched: SchedConfig,
+    trace: Option<TraceConfig>,
+) -> RunOutput {
+    match variant {
+        Variant::NativeVia => native_via_bandwidth_traced(size, total, sched, trace),
+        Variant::TcpLane => socket_bandwidth_traced(None, size, total, sched, trace),
+        Variant::Sovia(config) => {
+            socket_bandwidth_traced(Some(config.clone()), size, total, sched, trace)
         }
     }
 }
@@ -118,8 +174,21 @@ pub fn socket_latency_with_sched(
     rounds: u32,
     sched: SchedConfig,
 ) -> (f64, SchedStats) {
+    let out = socket_latency_traced(config, size, rounds, sched, None);
+    (out.value, out.stats)
+}
+
+/// [`socket_latency_with_sched`] with optional tracing (see
+/// [`latency_traced`]).
+pub fn socket_latency_traced(
+    config: Option<SoviaConfig>,
+    size: usize,
+    rounds: u32,
+    sched: SchedConfig,
+    trace: Option<TraceConfig>,
+) -> RunOutput {
     let out = Arc::new(Mutex::new(0f64));
-    let mut sim = Simulation::with_config(sched);
+    let mut sim = Simulation::with_config_and_trace(sched, trace);
     let stype = if config.is_some() {
         SockType::Via
     } else {
@@ -166,11 +235,13 @@ pub fn socket_latency_with_sched(
                 // Warm-up.
                 api::send_all(cctx, &cp, s, &msg).unwrap();
                 let _ = api::recv_exact(cctx, &cp, s, size).unwrap();
+                mark(cctx, TraceKind::MarkStart);
                 let t0 = cctx.now();
                 for _ in 0..rounds {
                     api::send_all(cctx, &cp, s, &msg).unwrap();
                     let _ = api::recv_exact(cctx, &cp, s, size).unwrap();
                 }
+                mark(cctx, TraceKind::MarkEnd);
                 let rtt_us = cctx.now().since(t0).as_micros_f64() / f64::from(rounds);
                 *out.lock() = rtt_us / 2.0;
                 api::close(cctx, &cp, s).unwrap();
@@ -186,7 +257,12 @@ pub fn socket_latency_with_sched(
     }
     sim.run().expect("latency simulation failed");
     let v = *out.lock();
-    (v, sim.sched_stats())
+    RunOutput {
+        value: v,
+        stats: sim.sched_stats(),
+        procs: sim.proc_stats(),
+        trace: sim.take_trace(),
+    }
 }
 
 /// The Figure 6(b) stream workload under an explicit scheduler
@@ -198,8 +274,21 @@ pub fn socket_bandwidth_with_sched(
     total: usize,
     sched: SchedConfig,
 ) -> (f64, SchedStats) {
+    let out = socket_bandwidth_traced(config, size, total, sched, None);
+    (out.value, out.stats)
+}
+
+/// [`socket_bandwidth_with_sched`] with optional tracing (see
+/// [`bandwidth_traced`]).
+pub fn socket_bandwidth_traced(
+    config: Option<SoviaConfig>,
+    size: usize,
+    total: usize,
+    sched: SchedConfig,
+    trace: Option<TraceConfig>,
+) -> RunOutput {
     let out = Arc::new(Mutex::new(0f64));
-    let mut sim = Simulation::with_config(sched);
+    let mut sim = Simulation::with_config_and_trace(sched, trace);
     let stype = if config.is_some() {
         SockType::Via
     } else {
@@ -242,8 +331,10 @@ pub fn socket_bandwidth_with_sched(
                         t_last = sctx.now();
                         if mark.is_none() && got >= skip {
                             mark = Some((t_last, got));
+                            self::mark(sctx, TraceKind::MarkStart);
                         }
                     }
+                    self::mark(sctx, TraceKind::MarkEnd);
                     if let Some((t_mark, got_mark)) = mark {
                         let secs = t_last.since(t_mark).as_secs_f64();
                         if secs > 0.0 {
@@ -280,17 +371,23 @@ pub fn socket_bandwidth_with_sched(
     }
     sim.run().expect("bandwidth simulation failed");
     let v = *out.lock();
-    (v, sim.sched_stats())
+    RunOutput {
+        value: v,
+        stats: sim.sched_stats(),
+        procs: sim.proc_stats(),
+        trace: sim.take_trace(),
+    }
 }
 
 // ----- native VIA (raw VIPL) --------------------------------------------------
 
-fn native_via_latency_with_sched(
+fn native_via_latency_traced(
     size: usize,
     rounds: u32,
     sched: SchedConfig,
-) -> (f64, SchedStats) {
-    let mut sim = Simulation::with_config(sched);
+    trace: Option<TraceConfig>,
+) -> RunOutput {
+    let mut sim = Simulation::with_config_and_trace(sched, trace);
     let (m0, m1) = testbed::clan_pair(&sim.handle());
     let n0 = ViaNic::of(&m0);
     let n1 = ViaNic::of(&m1);
@@ -341,27 +438,35 @@ fn native_via_latency_with_sched(
             vi.post_send(ctx, Descriptor::send(Arc::clone(&sregion), 0, size, None))
                 .unwrap();
             let _ = vi.recv_wait(ctx, WaitMode::Poll).unwrap();
+            mark(ctx, TraceKind::MarkStart);
             let t0 = ctx.now();
             for _ in 0..rounds {
                 vi.post_send(ctx, Descriptor::send(Arc::clone(&sregion), 0, size, None))
                     .unwrap();
                 let _ = vi.recv_wait(ctx, WaitMode::Poll).unwrap();
             }
+            mark(ctx, TraceKind::MarkEnd);
             let rtt_us = ctx.now().since(t0).as_micros_f64() / f64::from(rounds);
             *out.lock() = rtt_us / 2.0;
         });
     }
     sim.run().expect("native VIA latency simulation failed");
     let v = *out.lock();
-    (v, sim.sched_stats())
+    RunOutput {
+        value: v,
+        stats: sim.sched_stats(),
+        procs: sim.proc_stats(),
+        trace: sim.take_trace(),
+    }
 }
 
-fn native_via_bandwidth_with_sched(
+fn native_via_bandwidth_traced(
     size: usize,
     total: usize,
     sched: SchedConfig,
-) -> (f64, SchedStats) {
-    let mut sim = Simulation::with_config(sched);
+    trace: Option<TraceConfig>,
+) -> RunOutput {
+    let mut sim = Simulation::with_config_and_trace(sched, trace);
     let (m0, m1) = testbed::clan_pair(&sim.handle());
     let n0 = ViaNic::of(&m0);
     let n1 = ViaNic::of(&m1);
@@ -411,6 +516,7 @@ fn native_via_bandwidth_with_sched(
             n0.connect_request(ctx, &vi, ViaNicId(1), 1).unwrap();
             let va = p.alloc(ctx, size.max(64));
             let region = MemRegion::register(ctx, &p, va, size.max(64));
+            mark(ctx, TraceKind::MarkStart);
             let t0 = ctx.now();
             let mut outstanding = 0usize;
             for _ in 0..msgs {
@@ -428,13 +534,19 @@ fn native_via_bandwidth_with_sched(
                 let _ = vi.send_wait(ctx, WaitMode::Poll).unwrap();
                 outstanding -= 1;
             }
+            mark(ctx, TraceKind::MarkEnd);
             let secs = ctx.now().since(t0).as_secs_f64();
             *out.lock() = total as f64 * 8.0 / secs / 1e6;
         });
     }
     sim.run().expect("native VIA bandwidth simulation failed");
     let v = *out.lock();
-    (v, sim.sched_stats())
+    RunOutput {
+        value: v,
+        stats: sim.sched_stats(),
+        procs: sim.proc_stats(),
+        trace: sim.take_trace(),
+    }
 }
 
 /// Render a figure-style table: one row per size, one column per series.

@@ -64,43 +64,16 @@ pub fn resolve_threads(cli: Option<usize>) -> usize {
 
 /// Extract `--threads N` (or `--threads=N`) from a binary's argument
 /// list, removing the consumed tokens. Exits with status 2 on a
-/// malformed value, like the other bench CLI errors.
+/// malformed value, like the other bench CLI errors. (Thin wrapper over
+/// the shared parser in [`crate::cli`].)
 pub fn take_threads_arg(args: &mut Vec<String>) -> Option<usize> {
-    let parse = |v: &str| -> usize {
-        match v.parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => {
-                eprintln!("error: --threads requires a positive integer, got {v:?}");
-                std::process::exit(2);
-            }
-        }
-    };
-    if let Some(pos) = args.iter().position(|a| a == "--threads") {
-        if pos + 1 >= args.len() {
-            eprintln!("error: --threads requires a value");
+    crate::cli::take_value(args, "--threads").map(|v| match v.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("error: --threads requires a positive integer, got {v:?}");
             std::process::exit(2);
         }
-        let v = args.remove(pos + 1);
-        args.remove(pos);
-        return Some(parse(&v));
-    }
-    if let Some(pos) = args.iter().position(|a| a.starts_with("--threads=")) {
-        let a = args.remove(pos);
-        return Some(parse(&a["--threads=".len()..]));
-    }
-    None
-}
-
-/// Parse a figure binary's command line, where `--threads N` is the only
-/// accepted argument. Exits with status 2 on anything else.
-pub fn cli_threads(bin: &str) -> Option<usize> {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let t = take_threads_arg(&mut args);
-    if let Some(extra) = args.first() {
-        eprintln!("error: unknown argument {extra:?} (usage: {bin} [--threads N])");
-        std::process::exit(2);
-    }
-    t
+    })
 }
 
 /// Run `f` over every job on at most `threads` concurrent workers,

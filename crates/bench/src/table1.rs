@@ -73,8 +73,19 @@ fn file_body(len: u64) -> Vec<u8> {
 
 /// Run one FTP transfer and report what the client reports.
 pub fn ftp_transfer(platform: Platform, file_len: u64) -> Cell {
+    ftp_transfer_traced(platform, file_len, None).0
+}
+
+/// [`ftp_transfer`] with optional tracing; returns the cell plus the
+/// captured trace (whole-run window — FTP has no warm-up phase to
+/// exclude).
+pub fn ftp_transfer_traced(
+    platform: Platform,
+    file_len: u64,
+    trace: Option<dsim::TraceConfig>,
+) -> (Cell, Option<dsim::TraceData>) {
     assert_ne!(platform, Platform::LocalCopy);
-    let mut sim = Simulation::new();
+    let mut sim = Simulation::with_config_and_trace(dsim::SchedConfig::default(), trace);
     let out = Arc::new(Mutex::new(Cell {
         mbps: 0.0,
         secs: 0.0,
@@ -127,7 +138,7 @@ pub fn ftp_transfer(platform: Platform, file_len: u64) -> Cell {
     }
     sim.run().expect("FTP simulation failed");
     let v = *out.lock();
-    v
+    (v, sim.take_trace())
 }
 
 /// The local ramdisk-to-ramdisk copy row (`cp src dst` on one host).

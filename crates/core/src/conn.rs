@@ -299,6 +299,12 @@ impl SovConn {
     /// Reap all currently completed sends (non-blocking).
     fn reap_sends(&self, ctx: &SimCtx) {
         ctx.sleep(self.costs.poll_check);
+        ctx.trace_span(
+            dsim::TraceLayer::Sovia,
+            dsim::TraceKind::Poll,
+            self.costs.poll_check,
+            dsim::TraceTag::on_conn(self.vi.id()),
+        );
         loop {
             let kind = {
                 let mut ss = self.send_state.lock();
@@ -318,6 +324,12 @@ impl SovConn {
     fn reap_one_blocking(&self, ctx: &SimCtx) -> SockResult<()> {
         loop {
             ctx.sleep(self.costs.poll_check);
+            ctx.trace_span(
+                dsim::TraceLayer::Sovia,
+                dsim::TraceKind::Poll,
+                self.costs.poll_check,
+                dsim::TraceTag::on_conn(self.vi.id()),
+            );
             let kind = {
                 let mut ss = self.send_state.lock();
                 self.vi
@@ -410,6 +422,16 @@ impl SovConn {
             // An unsendable ACK (peer torn down) is not the app's problem.
             let _ = self.post_control(ctx, lib, PacketType::Ack, to_ack, &[]);
             self.stats.lock().acks_sent += 1;
+            // to_ack - 1 acknowledgments were coalesced into this one
+            // explicit ACK packet.
+            if to_ack > 1 {
+                ctx.trace_count(
+                    dsim::TraceLayer::Sovia,
+                    dsim::TraceKind::AcksDelayed,
+                    u64::from(to_ack - 1),
+                    dsim::TraceTag::on_conn(self.vi.id()),
+                );
+            }
         }
     }
 
@@ -428,8 +450,48 @@ impl SovConn {
         if !payload.is_empty() {
             self.ctrl_pool.write_slot(ctx, slot, 0, payload);
             ctx.sleep(self.costs.memcpy(payload.len()));
+            ctx.trace_span(
+                dsim::TraceLayer::Sovia,
+                dsim::TraceKind::Copy,
+                self.costs.memcpy(payload.len()),
+                dsim::TraceTag::on_conn(self.vi.id()).value(payload.len() as u64),
+            );
+            ctx.trace_count(
+                dsim::TraceLayer::Sovia,
+                dsim::TraceKind::BytesCopied,
+                payload.len() as u64,
+                dsim::TraceTag::on_conn(self.vi.id()),
+            );
         }
         ctx.sleep(self.costs.descriptor_post + self.costs.doorbell);
+        ctx.trace_span(
+            dsim::TraceLayer::Sovia,
+            dsim::TraceKind::DescriptorPost,
+            self.costs.descriptor_post + self.costs.doorbell,
+            dsim::TraceTag::on_conn(self.vi.id()),
+        );
+        ctx.trace_count(
+            dsim::TraceLayer::Sovia,
+            dsim::TraceKind::DescriptorsPosted,
+            1,
+            dsim::TraceTag::on_conn(self.vi.id()),
+        );
+        if ctx.trace_enabled() {
+            let mark = match ptype {
+                PacketType::Req => Some(dsim::TraceKind::HandshakeReq),
+                PacketType::Wakeup => Some(dsim::TraceKind::HandshakeWakeup),
+                PacketType::Fin => Some(dsim::TraceKind::HandshakeFin),
+                PacketType::FinAck => Some(dsim::TraceKind::HandshakeFinAck),
+                PacketType::Data | PacketType::Ack => None,
+            };
+            if let Some(kind) = mark {
+                ctx.trace_instant(
+                    dsim::TraceLayer::Sovia,
+                    kind,
+                    dsim::TraceTag::on_conn(self.vi.id()).value(u64::from(acks)),
+                );
+            }
+        }
         let desc = Descriptor::send(
             Arc::clone(self.ctrl_pool.region()),
             self.ctrl_pool.offset_of(slot),
@@ -461,6 +523,26 @@ impl SovConn {
         self.wait_credit(ctx, lib)?;
         let piggy = self.take_dacks();
         ctx.sleep(self.costs.descriptor_post + self.costs.doorbell);
+        ctx.trace_span(
+            dsim::TraceLayer::Sovia,
+            dsim::TraceKind::DescriptorPost,
+            self.costs.descriptor_post + self.costs.doorbell,
+            dsim::TraceTag::on_conn(self.vi.id()).value(len as u64),
+        );
+        ctx.trace_count(
+            dsim::TraceLayer::Sovia,
+            dsim::TraceKind::DescriptorsPosted,
+            1,
+            dsim::TraceTag::on_conn(self.vi.id()),
+        );
+        if piggy > 0 {
+            ctx.trace_count(
+                dsim::TraceLayer::Sovia,
+                dsim::TraceKind::AcksPiggybacked,
+                u64::from(piggy),
+                dsim::TraceTag::on_conn(self.vi.id()),
+            );
+        }
         let desc = Descriptor::send(
             Arc::clone(self.send_pool.region()),
             self.send_pool.offset_of(slot),
@@ -531,6 +613,18 @@ impl SovConn {
         let slot = self.acquire_data_slot(ctx)?;
         self.send_pool.write_slot(ctx, slot, 0, data);
         ctx.sleep(self.costs.memcpy(data.len()));
+        ctx.trace_span(
+            dsim::TraceLayer::Sovia,
+            dsim::TraceKind::Copy,
+            self.costs.memcpy(data.len()),
+            dsim::TraceTag::on_conn(self.vi.id()).value(data.len() as u64),
+        );
+        ctx.trace_count(
+            dsim::TraceLayer::Sovia,
+            dsim::TraceKind::BytesCopied,
+            data.len() as u64,
+            dsim::TraceTag::on_conn(self.vi.id()),
+        );
         self.post_data_slot(ctx, lib, slot, data.len())?;
         Ok(data.len())
     }
@@ -543,9 +637,35 @@ impl SovConn {
             // Zero-copy: pay one registration per transfer (Section 3.1).
             let region = MemRegion::register(ctx, &self.process, self.staging, chunk.len());
             self.stats.lock().zero_copy_registrations += 1;
+            ctx.trace_count(
+                dsim::TraceLayer::Sovia,
+                dsim::TraceKind::BytesZeroCopy,
+                chunk.len() as u64,
+                dsim::TraceTag::on_conn(self.vi.id()),
+            );
             self.wait_credit(ctx, lib)?;
             let piggy = self.take_dacks();
             ctx.sleep(self.costs.descriptor_post + self.costs.doorbell);
+            ctx.trace_span(
+                dsim::TraceLayer::Sovia,
+                dsim::TraceKind::DescriptorPost,
+                self.costs.descriptor_post + self.costs.doorbell,
+                dsim::TraceTag::on_conn(self.vi.id()).value(chunk.len() as u64),
+            );
+            ctx.trace_count(
+                dsim::TraceLayer::Sovia,
+                dsim::TraceKind::DescriptorsPosted,
+                1,
+                dsim::TraceTag::on_conn(self.vi.id()),
+            );
+            if piggy > 0 {
+                ctx.trace_count(
+                    dsim::TraceLayer::Sovia,
+                    dsim::TraceKind::AcksPiggybacked,
+                    u64::from(piggy),
+                    dsim::TraceTag::on_conn(self.vi.id()),
+                );
+            }
             let desc = Descriptor::send(
                 Arc::clone(&region),
                 0,
@@ -608,6 +728,12 @@ impl SovConn {
                 // "the sender starts a timer": 1-2 us of software-timer
                 // management (the COMBINE-vs-SINGLE latency gap in Fig 6a).
                 ctx.sleep(self.config.combine_timer_cost);
+                ctx.trace_span(
+                    dsim::TraceLayer::Sovia,
+                    dsim::TraceKind::Timer,
+                    self.config.combine_timer_cost,
+                    dsim::TraceTag::on_conn(self.vi.id()),
+                );
                 let epoch = self.combine_epoch.fetch_add(1, Ordering::Relaxed) + 1;
                 let timer = lib.arm_combine_timer(self, epoch);
                 let mut c = self.combine.lock();
@@ -638,6 +764,24 @@ impl SovConn {
             match appended {
                 Some(filled) => {
                     ctx.sleep(self.costs.memcpy(data.len()));
+                    ctx.trace_span(
+                        dsim::TraceLayer::Sovia,
+                        dsim::TraceKind::Copy,
+                        self.costs.memcpy(data.len()),
+                        dsim::TraceTag::on_conn(self.vi.id()).value(data.len() as u64),
+                    );
+                    ctx.trace_count(
+                        dsim::TraceLayer::Sovia,
+                        dsim::TraceKind::BytesCopied,
+                        data.len() as u64,
+                        dsim::TraceTag::on_conn(self.vi.id()),
+                    );
+                    ctx.trace_count(
+                        dsim::TraceLayer::Sovia,
+                        dsim::TraceKind::CombinedSends,
+                        1,
+                        dsim::TraceTag::on_conn(self.vi.id()),
+                    );
                     self.stats.lock().combined_sends += 1;
                     if filled >= self.config.chunk_size {
                         self.flush_combine(ctx, lib)?;
@@ -715,6 +859,18 @@ impl SovConn {
                 // The copy out of the bounce buffer into user memory — the
                 // "intermediate buffering" cost of Section 3.1.
                 ctx.sleep(self.costs.memcpy(bytes.len()));
+                ctx.trace_span(
+                    dsim::TraceLayer::Sovia,
+                    dsim::TraceKind::Copy,
+                    self.costs.memcpy(bytes.len()),
+                    dsim::TraceTag::on_conn(self.vi.id()).value(bytes.len() as u64),
+                );
+                ctx.trace_count(
+                    dsim::TraceLayer::Sovia,
+                    dsim::TraceKind::BytesCopied,
+                    bytes.len() as u64,
+                    dsim::TraceTag::on_conn(self.vi.id()),
+                );
                 if let Some(desc) = finished_desc {
                     self.repost(ctx, &desc);
                     self.note_consumed(ctx, lib);

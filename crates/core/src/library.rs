@@ -253,6 +253,12 @@ impl SoviaLib {
                 }
                 self.progress_cv.wait(ctx);
                 ctx.sleep(self.costs.poll_check);
+                ctx.trace_span(
+                    dsim::TraceLayer::Sovia,
+                    dsim::TraceKind::Poll,
+                    self.costs.poll_check,
+                    dsim::TraceTag::default(),
+                );
             }
             ReceiveMode::HandlerThread => {
                 self.progress_cv.wait(ctx);

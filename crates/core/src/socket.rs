@@ -312,6 +312,12 @@ fn connection_thread(
         // VipConnectWait: block for a request, pay the kernel wakeup.
         let pending = pending_q.pop(ctx);
         ctx.sleep(lib.process().costs().context_switch);
+        ctx.trace_span(
+            dsim::TraceLayer::Sovia,
+            dsim::TraceKind::ContextSwitch,
+            lib.process().costs().context_switch,
+            dsim::TraceTag::default(),
+        );
         let vi = lib.nic().create_vi(ViAttributes {
             reliability: Some(via::Reliability::ReliableDelivery),
             recv_cq: Some(Arc::clone(lib.cq())),

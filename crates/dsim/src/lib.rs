@@ -51,10 +51,15 @@ pub mod buf;
 pub mod rng;
 pub mod stats;
 pub mod sync;
+pub mod trace;
 
 pub use buf::Payload;
 pub use sched::{
-    ProcId, SchedConfig, SchedStats, SimCtx, SimError, SimHandle, Simulation, TimerGuard,
-    WakeReason,
+    ProcId, ProcStats, SchedConfig, SchedStats, SimCtx, SimError, SimHandle, Simulation,
+    TimerGuard, WakeReason,
 };
 pub use time::{SimDuration, SimTime};
+pub use trace::{
+    chrome_trace_json, TraceClass, TraceConfig, TraceData, TraceEvent, TraceKind, TraceLayer,
+    TraceTag, Tracer,
+};

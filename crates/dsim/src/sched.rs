@@ -49,6 +49,7 @@ use std::thread::JoinHandle;
 use parking_lot::{Condvar, Mutex};
 
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceConfig, TraceData, TraceEvent, TraceKind, TraceLayer, TraceShared, TraceTag, Tracer};
 
 /// Identifier of a simulation process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -178,6 +179,14 @@ struct ProcSlot {
     /// Daemons (NIC engines, protocol handler loops) do not keep the
     /// simulation alive: it completes when all non-daemon processes finish.
     daemon: bool,
+    /// Wake events delivered to this process (any reason except Shutdown).
+    wakeups: u64,
+    /// Accumulated virtual run time: a process only advances the clock
+    /// while "running" its own charged costs, i.e. across `Sleep` parks,
+    /// so run time is the sum of Sleep-reason park→wake intervals.
+    runtime_ns: u64,
+    /// Virtual time at which this process last parked.
+    parked_at_ns: u64,
 }
 
 /// A simple binary handshake signal (real condvar, used only for the token
@@ -253,6 +262,9 @@ pub struct SchedStats {
     pub self_wakes: u64,
     /// Wakes dispatched by the coordinator (two OS switches: the slow path).
     pub coordinator_wakes: u64,
+    /// Total wake deliveries across all processes (every reason except
+    /// teardown); per-process detail is in [`Simulation::proc_stats`].
+    pub wakeups: u64,
 }
 
 impl SchedStats {
@@ -263,6 +275,7 @@ impl SchedStats {
         self.direct_handoffs += other.direct_handoffs;
         self.self_wakes += other.self_wakes;
         self.coordinator_wakes += other.coordinator_wakes;
+        self.wakeups += other.wakeups;
     }
 }
 
@@ -285,6 +298,25 @@ impl std::iter::Sum for SchedStats {
     fn sum<I: Iterator<Item = SchedStats>>(iter: I) -> SchedStats {
         iter.fold(SchedStats::default(), |acc, s| acc + s)
     }
+}
+
+/// Per-process scheduling accounting (see [`Simulation::proc_stats`]).
+///
+/// "Run time" is virtual CPU time: the sum of this process's charged
+/// cost-model sleeps. Handshake intervals between a wake and the next park
+/// are zero virtual time by construction, so they contribute nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Process id (spawn order).
+    pub pid: u64,
+    /// Process name as given to `spawn`.
+    pub name: String,
+    /// Whether this is a daemon (engine loop).
+    pub daemon: bool,
+    /// Accumulated virtual run time (charged costs).
+    pub runtime: SimDuration,
+    /// Wake events delivered (all reasons except teardown).
+    pub wakeups: u64,
 }
 
 struct SchedState {
@@ -321,6 +353,9 @@ pub(crate) struct SimCore {
     config: SchedConfig,
     /// Which simulation instance this is (thread-naming only).
     sim_id: u64,
+    /// Event recorder; `None` (the default) makes every emission site a
+    /// single predictable branch.
+    pub(crate) trace: Option<Arc<TraceShared>>,
 }
 
 impl SimCore {
@@ -349,6 +384,15 @@ impl SimHandle {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         SimTime(self.core.state.lock().now)
+    }
+
+    /// A cheap emission handle onto this simulation's trace recorder
+    /// (disabled — every emit a no-op — unless the simulation was built
+    /// with [`Simulation::with_config_and_trace`]).
+    pub fn tracer(&self) -> Tracer {
+        Tracer {
+            shared: self.core.trace.clone(),
+        }
     }
 
     /// Schedule `f` to run on the coordinator at `now + delay`.
@@ -460,6 +504,9 @@ impl SimHandle {
             })
             .expect("failed to spawn simulation thread");
 
+        if let Some(tr) = &self.core.trace {
+            tr.names.lock().push((pid.0, name.clone()));
+        }
         let slot = ProcSlot {
             name,
             state: ProcState::Parked,
@@ -468,6 +515,9 @@ impl SimHandle {
             resume,
             thread: Some(thread),
             daemon,
+            wakeups: 0,
+            runtime_ns: 0,
+            parked_at_ns: st.now,
         };
         st.procs.insert(pid.0, slot);
         if !daemon {
@@ -484,6 +534,23 @@ impl SimHandle {
             },
         );
         pid
+    }
+
+    /// Record the modeled cost of a cross-thread signal: a Sched-layer
+    /// `thread_wake` span covering `[now, now + delay]` on the *woken*
+    /// process. Called by the sync primitives' delayed notifies.
+    pub(crate) fn trace_thread_wake(&self, pid: ProcId, delay: SimDuration) {
+        if let Some(tr) = &self.core.trace {
+            let now = self.core.state.lock().now;
+            tr.push(TraceEvent {
+                start_ns: now,
+                dur_ns: delay.as_nanos(),
+                pid: pid.0,
+                layer: TraceLayer::Sched,
+                kind: TraceKind::ThreadWake,
+                tag: TraceTag::default(),
+            });
+        }
     }
 
     /// Schedule a wake for `pid` at `now + delay` targeting epoch `epoch`.
@@ -574,6 +641,64 @@ impl SimCtx {
         debug_assert_eq!(r, WakeReason::Sleep);
     }
 
+    /// Whether this simulation is recording trace events. Instrumentation
+    /// sites that need extra work to build a tag (e.g. counting bytes)
+    /// should gate on this first.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.handle.core.trace.is_some()
+    }
+
+    /// Record a span for a cost that was just charged: it covers
+    /// `[now - dur, now]`. Call *after* the corresponding `sleep`/charge.
+    /// No-op (one branch) when tracing is off.
+    #[inline]
+    pub fn trace_span(&self, layer: TraceLayer, kind: TraceKind, dur: SimDuration, tag: TraceTag) {
+        if let Some(tr) = &self.handle.core.trace {
+            let now = self.handle.core.state.lock().now;
+            tr.push(TraceEvent {
+                start_ns: now - dur.as_nanos(),
+                dur_ns: dur.as_nanos(),
+                pid: self.pid.0,
+                layer,
+                kind,
+                tag,
+            });
+        }
+    }
+
+    /// Record an instant event at the current virtual time.
+    #[inline]
+    pub fn trace_instant(&self, layer: TraceLayer, kind: TraceKind, tag: TraceTag) {
+        if let Some(tr) = &self.handle.core.trace {
+            let now = self.handle.core.state.lock().now;
+            tr.push(TraceEvent {
+                start_ns: now,
+                dur_ns: 0,
+                pid: self.pid.0,
+                layer,
+                kind,
+                tag,
+            });
+        }
+    }
+
+    /// Record a counter increment of `delta` at the current virtual time.
+    #[inline]
+    pub fn trace_count(&self, layer: TraceLayer, kind: TraceKind, delta: u64, tag: TraceTag) {
+        if let Some(tr) = &self.handle.core.trace {
+            let now = self.handle.core.state.lock().now;
+            tr.push(TraceEvent {
+                start_ns: now,
+                dur_ns: 0,
+                pid: self.pid.0,
+                layer,
+                kind,
+                tag: TraceTag { value: delta, ..tag },
+            });
+        }
+    }
+
     /// Yield to any other same-instant events/processes without advancing
     /// time (a deterministic `sched_yield`).
     pub fn yield_now(&self) {
@@ -595,6 +720,7 @@ impl SimCtx {
         let mut handoff: Option<Arc<Signal>> = None;
         {
             let mut st = core.state.lock();
+            let now = st.now;
             let slot = st
                 .procs
                 .get_mut(&self.pid.0)
@@ -605,6 +731,7 @@ impl SimCtx {
                 "park() called from a thread that does not hold the token"
             );
             slot.state = ProcState::Parked;
+            slot.parked_at_ns = now;
             resume = Arc::clone(&slot.resume);
             if core.config.direct_handoff {
                 if let Some(target) = Self::dispatch_next_wake(&mut st) {
@@ -686,6 +813,11 @@ impl SimCtx {
             slot.epoch += 1;
             slot.state = ProcState::Running;
             slot.wake_reason = Some(reason);
+            slot.wakeups += 1;
+            if reason == WakeReason::Sleep {
+                slot.runtime_ns += e.time - slot.parked_at_ns;
+            }
+            st.stats.wakeups += 1;
             return Some(pid);
         }
     }
@@ -713,6 +845,17 @@ impl Simulation {
     /// Create an empty simulation with an explicit scheduler configuration
     /// (used for A/B benchmarking of the dispatch fast path).
     pub fn with_config(config: SchedConfig) -> Simulation {
+        Simulation::with_config_and_trace(config, None)
+    }
+
+    /// Create an empty simulation, optionally recording trace events.
+    /// With `trace: None` this is exactly [`Simulation::with_config`]:
+    /// virtual-time results are identical either way — tracing observes,
+    /// never perturbs.
+    pub fn with_config_and_trace(
+        config: SchedConfig,
+        trace: Option<TraceConfig>,
+    ) -> Simulation {
         let core = Arc::new(SimCore {
             state: Mutex::new(SchedState {
                 now: 0,
@@ -730,6 +873,7 @@ impl Simulation {
             coord: Signal::new_inline(),
             config,
             sim_id: SIM_COUNTER.fetch_add(1, Ordering::Relaxed),
+            trace: trace.map(|cfg| Arc::new(TraceShared::new(cfg))),
         });
         Simulation {
             handle: SimHandle { core },
@@ -755,6 +899,35 @@ impl Simulation {
     /// The scheduler configuration this simulation runs with.
     pub fn config(&self) -> SchedConfig {
         self.handle.core.config
+    }
+
+    /// Per-process run-time and wakeup accounting, ordered by pid
+    /// (spawn order). Meaningful during and after `run`.
+    pub fn proc_stats(&self) -> Vec<ProcStats> {
+        let st = self.handle.core.state.lock();
+        let mut out: Vec<ProcStats> = st
+            .procs
+            .iter()
+            .map(|(pid, s)| ProcStats {
+                pid: *pid,
+                name: s.name.clone(),
+                daemon: s.daemon,
+                runtime: SimDuration(s.runtime_ns),
+                wakeups: s.wakeups,
+            })
+            .collect();
+        out.sort_by_key(|p| p.pid);
+        out
+    }
+
+    /// Drain and return the recorded trace, or `None` if this simulation
+    /// was built without tracing. Call after `run`.
+    pub fn take_trace(&self) -> Option<TraceData> {
+        self.handle
+            .core
+            .trace
+            .as_deref()
+            .map(TraceData::drain_from)
     }
 
     /// A cloneable handle for scheduling and primitive construction.
@@ -852,6 +1025,7 @@ impl Simulation {
                 EventKind::Wake { pid, epoch, reason } => {
                     let resume = {
                         let mut st = core.state.lock();
+                        let now = st.now;
                         let slot = match st.procs.get_mut(&pid.0) {
                             Some(s) => s,
                             None => continue,
@@ -862,8 +1036,13 @@ impl Simulation {
                         slot.epoch += 1;
                         slot.state = ProcState::Running;
                         slot.wake_reason = Some(reason);
+                        slot.wakeups += 1;
+                        if reason == WakeReason::Sleep {
+                            slot.runtime_ns += now - slot.parked_at_ns;
+                        }
                         let resume = Arc::clone(&slot.resume);
                         st.stats.coordinator_wakes += 1;
+                        st.stats.wakeups += 1;
                         resume
                     };
                     resume.raise();
@@ -1106,6 +1285,72 @@ mod tests {
             }
             other => panic!("expected deadlock, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn proc_stats_account_runtime_and_wakeups() {
+        let mut sim = Simulation::new();
+        sim.spawn("worker", |ctx| {
+            ctx.sleep(SimDuration::from_micros(10));
+            ctx.sleep(SimDuration::from_micros(5));
+        });
+        sim.run().unwrap();
+        let procs = sim.proc_stats();
+        assert_eq!(procs.len(), 1);
+        assert_eq!(procs[0].name, "worker");
+        // Runtime = the two charged sleeps; wakeups = Start + 2 sleeps.
+        assert_eq!(procs[0].runtime, SimDuration::from_micros(15));
+        assert_eq!(procs[0].wakeups, 3);
+        assert_eq!(sim.sched_stats().wakeups, 3);
+    }
+
+    #[test]
+    fn proc_stats_identical_across_dispatch_paths() {
+        let run = |direct_handoff| {
+            let mut sim = Simulation::with_config(SchedConfig { direct_handoff });
+            for name in ["a", "b"] {
+                sim.spawn(name, |ctx| {
+                    for _ in 0..4 {
+                        ctx.sleep(SimDuration::from_micros(3));
+                        ctx.yield_now();
+                    }
+                });
+            }
+            sim.run().unwrap();
+            sim.proc_stats()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn trace_records_spans_and_names() {
+        use crate::trace::{TraceConfig, TraceKind, TraceLayer, TraceTag};
+        let mut sim =
+            Simulation::with_config_and_trace(SchedConfig::default(), Some(TraceConfig::default()));
+        sim.spawn("worker", |ctx| {
+            ctx.sleep(SimDuration::from_micros(2));
+            ctx.trace_span(
+                TraceLayer::Kernel,
+                TraceKind::Syscall,
+                SimDuration::from_micros(2),
+                TraceTag::bytes(4),
+            );
+        });
+        sim.run().unwrap();
+        let data = sim.take_trace().expect("tracing was enabled");
+        assert_eq!(data.names, vec![(0, "worker".to_string())]);
+        assert_eq!(data.events.len(), 1);
+        let e = data.events[0];
+        assert_eq!(e.start_ns, 0);
+        assert_eq!(e.dur_ns, 2_000);
+        assert_eq!(e.pid, 0);
+        assert_eq!(e.kind, TraceKind::Syscall);
+        assert_eq!(e.tag.value, 4);
+        // Untraced simulations report no data.
+        let mut plain = Simulation::new();
+        plain.spawn("idle", |_| {});
+        plain.run().unwrap();
+        assert!(plain.take_trace().is_none());
     }
 
     #[test]

@@ -88,6 +88,9 @@ impl SimCondvar {
             if self.handle.token_is_current(token) {
                 self.handle
                     .schedule_wake(token.0, token.1, delay, WakeReason::Notify);
+                if !delay.is_zero() {
+                    self.handle.trace_thread_wake(token.0, delay);
+                }
                 return;
             }
         }
@@ -105,6 +108,9 @@ impl SimCondvar {
             if self.handle.token_is_current(token) {
                 self.handle
                     .schedule_wake(token.0, token.1, delay, WakeReason::Notify);
+                if !delay.is_zero() {
+                    self.handle.trace_thread_wake(token.0, delay);
+                }
             }
         }
     }

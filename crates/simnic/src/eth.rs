@@ -123,7 +123,19 @@ impl EthPort {
             sim.spawn_daemon(format!("ethtx-{}", self.host), move |ctx| loop {
                 let frame = port.tx_queue.pop(ctx);
                 ctx.sleep(port.costs.tx_frame);
+                ctx.trace_span(
+                    dsim::TraceLayer::Nic,
+                    dsim::TraceKind::TxDesc,
+                    port.costs.tx_frame,
+                    dsim::TraceTag::bytes(frame.payload.len()),
+                );
                 ctx.sleep(port.link_params.serialize(frame.payload.len() + ETH_OVERHEAD));
+                ctx.trace_span(
+                    dsim::TraceLayer::Link,
+                    dsim::TraceKind::Serialize,
+                    port.link_params.serialize(frame.payload.len() + ETH_OVERHEAD),
+                    dsim::TraceTag::bytes(frame.payload.len()),
+                );
                 out.transmit(frame);
             });
         }
@@ -133,6 +145,12 @@ impl EthPort {
             sim.spawn_daemon(format!("ethrx-{}", self.host), move |ctx| loop {
                 let frame = port.rx_queue.pop(ctx);
                 ctx.sleep(port.costs.rx_frame);
+                ctx.trace_span(
+                    dsim::TraceLayer::Nic,
+                    dsim::TraceKind::RxDesc,
+                    port.costs.rx_frame,
+                    dsim::TraceTag::bytes(frame.payload.len()),
+                );
                 let handler = port.handler.lock();
                 if let Some(h) = handler.as_ref() {
                     h(ctx, frame);

@@ -92,11 +92,16 @@ impl<T: Clone + Send + 'static> Link<T> {
     /// Hand a fully serialized frame to the wire; it arrives at the far end
     /// after the propagation latency (unless the fault lane intervenes).
     pub fn transmit(&self, item: T) {
+        self.trace_wire(self.params.latency);
         let Some(lane) = &self.faults else {
             self.deliver(item, self.params.latency);
             return;
         };
-        match lane.next_frame() {
+        let action = lane.next_frame();
+        if let Some(act) = action {
+            self.trace_fault(lane, act);
+        }
+        match action {
             None => self.deliver(item, self.params.latency),
             // Dropped outright, or corrupted in flight: the receiver
             // discards a bad-FCS frame, so neither reaches the queue.
@@ -115,6 +120,46 @@ impl<T: Clone + Send + 'static> Link<T> {
                 );
                 self.deliver(item, after);
             }
+        }
+    }
+
+    /// Wire-propagation span on the no-process track (pid = MAX): one
+    /// frame crossing this link direction.
+    fn trace_wire(&self, latency: SimDuration) {
+        let tracer = self.sim.tracer();
+        if tracer.is_enabled() {
+            tracer.span_start(
+                self.sim.now(),
+                u64::MAX,
+                dsim::TraceLayer::Link,
+                dsim::TraceKind::Serialize,
+                latency,
+                dsim::TraceTag::default(),
+            );
+        }
+    }
+
+    /// Instant recording which frame on this lane a fault hit (the lane's
+    /// odometer was just advanced by `next_frame`, so frames - 1 is the
+    /// 0-based index of the judged frame).
+    fn trace_fault(&self, lane: &FaultLane, act: FaultAction) {
+        let tracer = self.sim.tracer();
+        if tracer.is_enabled() {
+            let frame_idx = lane.handle().stats().frames - 1;
+            let kind = match act {
+                FaultAction::Drop => dsim::TraceKind::FaultDrop,
+                FaultAction::Corrupt => dsim::TraceKind::FaultCorrupt,
+                FaultAction::Duplicate => dsim::TraceKind::FaultDuplicate,
+                FaultAction::Reorder => dsim::TraceKind::FaultReorder,
+                FaultAction::Delay => dsim::TraceKind::FaultDelay,
+            };
+            tracer.instant(
+                self.sim.now(),
+                u64::MAX,
+                dsim::TraceLayer::Link,
+                kind,
+                dsim::TraceTag::default().msg(frame_idx),
+            );
         }
     }
 

@@ -192,7 +192,19 @@ impl LaneDevice {
                 // all of it occupies the machine's one CPU.
                 let kcpu = KernelCpu::of(&dev.machine);
                 kcpu.charge(ctx, dev.machine.costs().interrupt);
+                ctx.trace_span(
+                    dsim::TraceLayer::Kernel,
+                    dsim::TraceKind::Interrupt,
+                    dev.machine.costs().interrupt,
+                    dsim::TraceTag::bytes(bytes.len()),
+                );
                 kcpu.charge(ctx, SimDuration::from_micros_f64(LANE_PKT_COST_US));
+                ctx.trace_span(
+                    dsim::TraceLayer::Kernel,
+                    dsim::TraceKind::Driver,
+                    SimDuration::from_micros_f64(LANE_PKT_COST_US),
+                    dsim::TraceTag::bytes(bytes.len()),
+                );
                 let handler = dev.handler.lock().clone();
                 if let Some(h) = handler {
                     h(ctx, bytes);
@@ -247,13 +259,37 @@ impl NetDevice for LaneDevice {
         // kernel-side copy: LANE cannot do zero-copy from user skbs).
         let kcpu = KernelCpu::of(&self.machine);
         kcpu.charge(ctx, SimDuration::from_micros_f64(LANE_PKT_COST_US));
+        ctx.trace_span(
+            dsim::TraceLayer::Kernel,
+            dsim::TraceKind::Driver,
+            SimDuration::from_micros_f64(LANE_PKT_COST_US),
+            dsim::TraceTag::bytes(packet.len()),
+        );
         kcpu.charge(ctx, self.machine.costs().memcpy(packet.len()));
+        ctx.trace_span(
+            dsim::TraceLayer::Kernel,
+            dsim::TraceKind::Copy,
+            self.machine.costs().memcpy(packet.len()),
+            dsim::TraceTag::bytes(packet.len()),
+        );
+        ctx.trace_count(
+            dsim::TraceLayer::Kernel,
+            dsim::TraceKind::BytesCopied,
+            packet.len() as u64,
+            dsim::TraceTag::default(),
+        );
         let slot = self.acquire_slot(ctx, &peer);
         let offset = slot * LANE_MTU;
         self.send_region.dma_write(offset, &packet);
         kcpu.charge(
             ctx,
             self.machine.costs().descriptor_post + self.machine.costs().doorbell,
+        );
+        ctx.trace_span(
+            dsim::TraceLayer::Kernel,
+            dsim::TraceKind::DescriptorPost,
+            self.machine.costs().descriptor_post + self.machine.costs().doorbell,
+            dsim::TraceTag::bytes(packet.len()),
         );
         let desc = Descriptor::send(Arc::clone(&self.send_region), offset, packet.len(), None);
         let posted = {

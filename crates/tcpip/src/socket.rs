@@ -36,6 +36,12 @@ pub struct TcpSocket {
 impl TcpSocket {
     fn syscall(&self, ctx: &SimCtx) {
         KernelCpu::of(self.process.machine()).charge(ctx, self.process.costs().syscall);
+        ctx.trace_span(
+            dsim::TraceLayer::Socket,
+            dsim::TraceKind::Syscall,
+            self.process.costs().syscall,
+            dsim::TraceTag::default(),
+        );
     }
 
     fn tcb(&self) -> SockResult<Arc<Tcb>> {
@@ -89,6 +95,12 @@ impl Socket for TcpSocket {
         };
         let tcb = backlog.pop(ctx);
         ctx.sleep(self.process.costs().context_switch);
+        ctx.trace_span(
+            dsim::TraceLayer::Kernel,
+            dsim::TraceKind::ContextSwitch,
+            self.process.costs().context_switch,
+            dsim::TraceTag::default(),
+        );
         tcb.wait_established(ctx)?;
         let peer = tcb.remote;
         let sock: Arc<dyn Socket> = Arc::new(TcpSocket {

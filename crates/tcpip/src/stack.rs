@@ -164,6 +164,12 @@ impl TcpStack {
         // New connection?
         if seg.flags.contains(TcpFlags::SYN) && !seg.flags.contains(TcpFlags::ACK) {
             KernelCpu::of(&self.machine).charge(ctx, self.costs.rx_segment + self.costs.ip);
+            ctx.trace_span(
+                dsim::TraceLayer::Kernel,
+                dsim::TraceKind::RxSegment,
+                self.costs.rx_segment + self.costs.ip,
+                dsim::TraceTag::on_conn(seg.dst_port as u32),
+            );
             let listener = self.listeners.lock().get(&seg.dst_port).cloned();
             match listener {
                 Some(l) => {
@@ -195,6 +201,12 @@ impl TcpStack {
 
     fn send_rst(&self, ctx: &SimCtx, src_host: HostId, seg: &TcpSegment) {
         KernelCpu::of(&self.machine).charge(ctx, self.costs.tx_ack + self.costs.ip);
+        ctx.trace_span(
+            dsim::TraceLayer::Kernel,
+            dsim::TraceKind::AckTx,
+            self.costs.tx_ack + self.costs.ip,
+            dsim::TraceTag::on_conn(seg.dst_port as u32),
+        );
         let rst = IpPacket {
             src: self.machine.id(),
             dst: src_host,

@@ -300,13 +300,26 @@ impl Tcb {
             rcv.dack_gen += 1; // cancel any pending delayed-ack
             (rcv.nxt, self.advertised_window(&rcv))
         };
-        let cost = if payload.is_empty() && !flags.contains(TcpFlags::SYN) {
+        let pure_ack = payload.is_empty() && !flags.contains(TcpFlags::SYN);
+        let cost = if pure_ack {
             self.costs.tx_ack
         } else {
             self.costs.tx_segment
         };
-        self.kcpu
-            .charge(ctx, cost + self.costs.ip + self.costs.checksum(payload.len()));
+        let total = cost + self.costs.ip + self.costs.checksum(payload.len());
+        self.kcpu.charge(ctx, total);
+        ctx.trace_span(
+            dsim::TraceLayer::Kernel,
+            if pure_ack {
+                dsim::TraceKind::AckTx
+            } else {
+                dsim::TraceKind::TxSegment
+            },
+            total,
+            dsim::TraceTag::on_conn(self.local.port as u32)
+                .msg(seq as u64)
+                .value(payload.len() as u64),
+        );
         let packet = IpPacket {
             src: self.local.host,
             dst: self.remote.host,
@@ -326,6 +339,17 @@ impl Tcb {
     /// Send the initial SYN (no ACK flag; nothing to acknowledge yet).
     pub(crate) fn send_syn(&self, ctx: &SimCtx) {
         self.kcpu.charge(ctx, self.costs.tx_segment + self.costs.ip);
+        ctx.trace_span(
+            dsim::TraceLayer::Kernel,
+            dsim::TraceKind::TxSegment,
+            self.costs.tx_segment + self.costs.ip,
+            dsim::TraceTag::on_conn(self.local.port as u32),
+        );
+        ctx.trace_instant(
+            dsim::TraceLayer::Kernel,
+            dsim::TraceKind::HandshakeReq,
+            dsim::TraceTag::on_conn(self.local.port as u32),
+        );
         let packet = IpPacket {
             src: self.local.host,
             dst: self.remote.host,
@@ -513,12 +537,20 @@ impl Tcb {
         };
         match action {
             Rto::Stale => {}
-            Rto::Retransmit => self.cv_tx.notify_all(),
+            Rto::Retransmit => {
+                ctx.trace_count(
+                    dsim::TraceLayer::Kernel,
+                    dsim::TraceKind::Retransmits,
+                    1,
+                    dsim::TraceTag::on_conn(self.local.port as u32),
+                );
+                self.cv_tx.notify_all()
+            }
             Rto::GiveUp => self.do_reset(),
         }
     }
 
-    pub(crate) fn handle_delayed_ack(self: &Arc<Self>, _ctx: &SimCtx, gen: u64) {
+    pub(crate) fn handle_delayed_ack(self: &Arc<Self>, ctx: &SimCtx, gen: u64) {
         let fire = {
             let mut rcv = self.rcv.lock();
             if rcv.dack_gen == gen && rcv.unacked_segments > 0 {
@@ -529,6 +561,17 @@ impl Tcb {
             }
         };
         if fire {
+            ctx.trace_instant(
+                dsim::TraceLayer::Kernel,
+                dsim::TraceKind::DelayedAckFired,
+                dsim::TraceTag::on_conn(self.local.port as u32),
+            );
+            ctx.trace_count(
+                dsim::TraceLayer::Kernel,
+                dsim::TraceKind::AcksDelayed,
+                1,
+                dsim::TraceTag::on_conn(self.local.port as u32),
+            );
             self.cv_tx.notify_all();
         }
     }
@@ -549,9 +592,15 @@ impl Tcb {
     // ----- the receive path (device service thread) -------------------------
 
     pub(crate) fn on_segment(self: &Arc<Self>, ctx: &SimCtx, seg: TcpSegment) {
-        self.kcpu.charge(
-            ctx,
-            self.costs.rx_segment + self.costs.ip + self.costs.checksum(seg.payload.len()),
+        let total = self.costs.rx_segment + self.costs.ip + self.costs.checksum(seg.payload.len());
+        self.kcpu.charge(ctx, total);
+        ctx.trace_span(
+            dsim::TraceLayer::Kernel,
+            dsim::TraceKind::RxSegment,
+            total,
+            dsim::TraceTag::on_conn(self.local.port as u32)
+                .msg(seg.seq as u64)
+                .value(seg.payload.len() as u64),
         );
         if seg.flags.contains(TcpFlags::RST) {
             self.do_reset();
@@ -754,6 +803,12 @@ impl Tcb {
             }
             self.cv_est.wait(ctx);
             ctx.sleep(self.host_costs.context_switch);
+            ctx.trace_span(
+                dsim::TraceLayer::Kernel,
+                dsim::TraceKind::ContextSwitch,
+                self.host_costs.context_switch,
+                dsim::TraceTag::on_conn(self.local.port as u32),
+            );
         }
     }
 
@@ -789,6 +844,18 @@ impl Tcb {
             if took > 0 {
                 // The user→kernel copy.
                 self.kcpu.charge(ctx, self.host_costs.memcpy(took));
+                ctx.trace_span(
+                    dsim::TraceLayer::Kernel,
+                    dsim::TraceKind::Copy,
+                    self.host_costs.memcpy(took),
+                    dsim::TraceTag::on_conn(self.local.port as u32).value(took as u64),
+                );
+                ctx.trace_count(
+                    dsim::TraceLayer::Kernel,
+                    dsim::TraceKind::BytesCopied,
+                    took as u64,
+                    dsim::TraceTag::on_conn(self.local.port as u32),
+                );
                 written += took;
                 self.cv_tx.notify_all();
             } else {
@@ -819,6 +886,18 @@ impl Tcb {
             if let Some(out) = out {
                 // The kernel→user copy.
                 self.kcpu.charge(ctx, self.host_costs.memcpy(out.len()));
+                ctx.trace_span(
+                    dsim::TraceLayer::Kernel,
+                    dsim::TraceKind::Copy,
+                    self.host_costs.memcpy(out.len()),
+                    dsim::TraceTag::on_conn(self.local.port as u32).value(out.len() as u64),
+                );
+                ctx.trace_count(
+                    dsim::TraceLayer::Kernel,
+                    dsim::TraceKind::BytesCopied,
+                    out.len() as u64,
+                    dsim::TraceTag::on_conn(self.local.port as u32),
+                );
                 if reopened {
                     self.cv_tx.notify_all();
                 }

@@ -120,6 +120,17 @@ impl ViaNic {
         }
         // Connection management goes through the kernel agent.
         ctx.sleep(self.machine().costs().syscall);
+        ctx.trace_span(
+            dsim::TraceLayer::Via,
+            dsim::TraceKind::Syscall,
+            self.machine().costs().syscall,
+            dsim::TraceTag::on_conn(vi.id()),
+        );
+        ctx.trace_instant(
+            dsim::TraceLayer::Via,
+            dsim::TraceKind::HandshakeReq,
+            dsim::TraceTag::on_conn(vi.id()).msg(discriminator),
+        );
         vi.set_state(ViState::Connecting);
         let req_id = self.agent.next_req.fetch_add(1, Ordering::Relaxed);
         let req = Arc::new(PendingRequest {
@@ -152,6 +163,12 @@ impl ViaNic {
         let (_req_id, req) = self.start_connect_request(ctx, vi, remote, discriminator)?;
         req.flag.wait(ctx);
         ctx.sleep(self.machine().costs().context_switch);
+        ctx.trace_span(
+            dsim::TraceLayer::Via,
+            dsim::TraceKind::ContextSwitch,
+            self.machine().costs().context_switch,
+            dsim::TraceTag::on_conn(vi.id()),
+        );
         let result = req.result.lock().take().expect("flag set without result");
         result
     }
@@ -246,6 +263,17 @@ impl ViaNic {
             return Err(VipError::InvalidState);
         }
         ctx.sleep(self.machine().costs().syscall);
+        ctx.trace_span(
+            dsim::TraceLayer::Via,
+            dsim::TraceKind::Syscall,
+            self.machine().costs().syscall,
+            dsim::TraceTag::on_conn(vi.id()),
+        );
+        ctx.trace_instant(
+            dsim::TraceLayer::Via,
+            dsim::TraceKind::HandshakeWakeup,
+            dsim::TraceTag::on_conn(vi.id()).msg(pending.discriminator),
+        );
         vi.set_state(ViState::Connected {
             peer_nic: pending.from_nic,
             peer_vi: pending.from_vi,
@@ -264,6 +292,12 @@ impl ViaNic {
     /// `VipConnectReject`.
     pub fn connect_reject(self: &Arc<Self>, ctx: &SimCtx, pending: &PendingConn) {
         ctx.sleep(self.machine().costs().syscall);
+        ctx.trace_span(
+            dsim::TraceLayer::Via,
+            dsim::TraceKind::Syscall,
+            self.machine().costs().syscall,
+            dsim::TraceTag::default(),
+        );
         self.send_mgmt(
             pending.from_nic,
             MgmtMsg::ConnReject {
@@ -276,6 +310,12 @@ impl ViaNic {
     /// descriptors on each side complete in error.
     pub fn disconnect(self: &Arc<Self>, ctx: &SimCtx, vi: &Arc<Vi>) {
         ctx.sleep(self.machine().costs().syscall);
+        ctx.trace_span(
+            dsim::TraceLayer::Via,
+            dsim::TraceKind::Syscall,
+            self.machine().costs().syscall,
+            dsim::TraceTag::on_conn(vi.id()),
+        );
         if let Some((peer_nic, peer_vi)) = vi.peer() {
             self.send_mgmt(peer_nic, MgmtMsg::Disconnect { dst_vi: peer_vi });
         }

@@ -26,6 +26,12 @@ impl MemRegion {
     pub fn register(ctx: &SimCtx, process: &Process, va: VAddr, len: usize) -> Arc<MemRegion> {
         let pages = (va.page_offset() + len).div_ceil(PAGE_SIZE);
         ctx.sleep(process.costs().mem_register(pages));
+        ctx.trace_span(
+            dsim::TraceLayer::Via,
+            dsim::TraceKind::MemRegister,
+            process.costs().mem_register(pages),
+            dsim::TraceTag::bytes(len).msg(pages as u64),
+        );
         let pinned = process.pin(va, len);
         Arc::new(MemRegion {
             machine: process.machine().clone(),

@@ -236,7 +236,8 @@ impl ViaNic {
                 ScriptedFault::DisconnectAt { at } => {
                     let nic = Arc::clone(self);
                     let lane = Arc::clone(&lane);
-                    self.machine.sim().schedule_in(*at, move |_| {
+                    let tracer = self.machine.sim().tracer();
+                    self.machine.sim().schedule_in(*at, move |now| {
                         let vis: Vec<Arc<Vi>> =
                             nic.vis_lock().values().cloned().collect();
                         for vi in vis {
@@ -247,6 +248,13 @@ impl ViaNic {
                                 );
                                 vi.break_with(VipError::Disconnected);
                                 lane.count_scripted(|s| s.forced_disconnects += 1);
+                                tracer.instant(
+                                    now,
+                                    u64::MAX,
+                                    dsim::TraceLayer::Nic,
+                                    dsim::TraceKind::FaultDisconnect,
+                                    dsim::TraceTag::on_conn(vi.id()),
+                                );
                             }
                         }
                     });
@@ -338,6 +346,12 @@ impl ViaNic {
             return; // stale doorbell
         };
         ctx.sleep(self.costs.tx_desc);
+        ctx.trace_span(
+            dsim::TraceLayer::Nic,
+            dsim::TraceKind::TxDesc,
+            self.costs.tx_desc,
+            dsim::TraceTag::on_conn(vi_id).value(desc.len as u64),
+        );
         let (peer_nic, peer_vi) = match vi.state() {
             ViState::Connected { peer_nic, peer_vi } => (peer_nic, peer_vi),
             _ => {
@@ -352,6 +366,11 @@ impl ViaNic {
                 // Scripted "complete the next send descriptor in error":
                 // the transfer never reaches the wire.
                 f.lane.count_scripted(|s| s.descriptor_errors += 1);
+                ctx.trace_instant(
+                    dsim::TraceLayer::Nic,
+                    dsim::TraceKind::FaultDescError,
+                    dsim::TraceTag::on_conn(vi_id).value(desc.len as u64),
+                );
                 desc.fail(VipError::DescriptorError);
                 vi.sq.complete(desc, &vi.send_cq, vi.id(), WqKind::Send);
                 if vi.reliability == Reliability::ReliableDelivery {
@@ -367,6 +386,12 @@ impl ViaNic {
         let busy_ns = self.costs.dma_ns_per_byte * desc.len as f64
             + link.params().ns_per_byte * (desc.len + VIA_FRAME_OVERHEAD) as f64;
         ctx.sleep(SimDuration::from_nanos_f64(busy_ns));
+        ctx.trace_span(
+            dsim::TraceLayer::Nic,
+            dsim::TraceKind::Dma,
+            SimDuration::from_nanos_f64(busy_ns),
+            dsim::TraceTag::on_conn(vi_id).value(desc.len as u64),
+        );
         {
             let mut st = self.stats.lock();
             st.tx_frames += 1;
@@ -386,6 +411,12 @@ impl ViaNic {
         match frame {
             ViaFrame::Mgmt(msg) => {
                 ctx.sleep(self.costs.rx_desc);
+                ctx.trace_span(
+                    dsim::TraceLayer::Nic,
+                    dsim::TraceKind::RxDesc,
+                    self.costs.rx_desc,
+                    dsim::TraceTag::default(),
+                );
                 KernelAgent::handle_mgmt(self, ctx, msg);
             }
             ViaFrame::Data {
@@ -395,7 +426,29 @@ impl ViaNic {
             } => {
                 let faults = self.faults.lock().clone();
                 if let Some(f) = &faults {
-                    match f.lane.next_frame() {
+                    let action = f.lane.next_frame();
+                    // `next_frame` just advanced the odometer; frames - 1
+                    // is the 0-based index of the frame judged here.
+                    if let Some(act) = action {
+                        if ctx.trace_enabled() {
+                            let frame_idx = f.lane.handle().stats().frames - 1;
+                            let kind = match act {
+                                FaultAction::Drop => dsim::TraceKind::FaultDrop,
+                                FaultAction::Corrupt => dsim::TraceKind::FaultCorrupt,
+                                FaultAction::Duplicate => dsim::TraceKind::FaultDuplicate,
+                                FaultAction::Reorder => dsim::TraceKind::FaultReorder,
+                                FaultAction::Delay => dsim::TraceKind::FaultDelay,
+                            };
+                            ctx.trace_instant(
+                                dsim::TraceLayer::Nic,
+                                kind,
+                                dsim::TraceTag::on_conn(dst_vi)
+                                    .msg(frame_idx)
+                                    .value(payload.len() as u64),
+                            );
+                        }
+                    }
+                    match action {
                         None => {}
                         Some(FaultAction::Delay) => {
                             // The frame dawdled in transit: the engine sees
@@ -472,6 +525,12 @@ impl ViaNic {
                     }
                 }
                 ctx.sleep(self.costs.rx_desc);
+                ctx.trace_span(
+                    dsim::TraceLayer::Nic,
+                    dsim::TraceKind::RxDesc,
+                    self.costs.rx_desc,
+                    dsim::TraceTag::on_conn(dst_vi).value(payload.len() as u64),
+                );
                 let Some(vi) = self.lookup_vi(dst_vi) else {
                     self.stats.lock().rx_drops_bad_vi += 1;
                     return;
@@ -486,6 +545,11 @@ impl ViaNic {
                         // error". With nothing pre-posted the break below
                         // still surfaces the fault (reliable VIs).
                         f.lane.count_scripted(|s| s.descriptor_errors += 1);
+                        ctx.trace_instant(
+                            dsim::TraceLayer::Nic,
+                            dsim::TraceKind::FaultDescError,
+                            dsim::TraceTag::on_conn(dst_vi).value(payload.len() as u64),
+                        );
                         if let Some(desc) = vi.rq.pending.lock().pop_front() {
                             desc.fail(VipError::DescriptorError);
                             vi.rq.complete(desc, &vi.recv_cq, vi.id(), WqKind::Recv);
@@ -518,6 +582,14 @@ impl ViaNic {
                 ctx.sleep(SimDuration::from_nanos_f64(
                     self.costs.dma_ns_per_byte * payload.len() as f64,
                 ));
+                ctx.trace_span(
+                    dsim::TraceLayer::Nic,
+                    dsim::TraceKind::Dma,
+                    SimDuration::from_nanos_f64(
+                        self.costs.dma_ns_per_byte * payload.len() as f64,
+                    ),
+                    dsim::TraceTag::on_conn(dst_vi).value(payload.len() as u64),
+                );
                 desc.region.dma_write(desc.offset, &payload);
                 {
                     let mut st = self.stats.lock();

@@ -206,6 +206,18 @@ impl Vi {
     /// `VipPostSend`: queue a send descriptor and ring the doorbell.
     pub fn post_send(&self, ctx: &SimCtx, desc: Arc<Descriptor>) -> VipResult<()> {
         ctx.sleep(self.costs.descriptor_post + self.costs.doorbell);
+        ctx.trace_span(
+            dsim::TraceLayer::Via,
+            dsim::TraceKind::DescriptorPost,
+            self.costs.descriptor_post + self.costs.doorbell,
+            dsim::TraceTag::on_conn(self.id).value(desc.len as u64),
+        );
+        ctx.trace_count(
+            dsim::TraceLayer::Via,
+            dsim::TraceKind::DescriptorsPosted,
+            1,
+            dsim::TraceTag::on_conn(self.id),
+        );
         self.post_send_uncharged(desc)
     }
 
@@ -236,6 +248,18 @@ impl Vi {
             return Err(e);
         }
         ctx.sleep(self.costs.descriptor_post + self.costs.doorbell);
+        ctx.trace_span(
+            dsim::TraceLayer::Via,
+            dsim::TraceKind::DescriptorPost,
+            self.costs.descriptor_post + self.costs.doorbell,
+            dsim::TraceTag::on_conn(self.id).value(desc.len as u64),
+        );
+        ctx.trace_count(
+            dsim::TraceLayer::Via,
+            dsim::TraceKind::DescriptorsPosted,
+            1,
+            dsim::TraceTag::on_conn(self.id),
+        );
         self.rq.pending.lock().push_back(desc);
         Ok(())
     }
@@ -243,12 +267,24 @@ impl Vi {
     /// `VipSendDone`: poll for the next completed send descriptor.
     pub fn send_done(&self, ctx: &SimCtx) -> Option<Arc<Descriptor>> {
         ctx.sleep(self.costs.poll_check);
+        ctx.trace_span(
+            dsim::TraceLayer::Via,
+            dsim::TraceKind::Poll,
+            self.costs.poll_check,
+            dsim::TraceTag::on_conn(self.id),
+        );
         self.sq.completed.lock().pop_front()
     }
 
     /// `VipRecvDone`: poll for the next completed receive descriptor.
     pub fn recv_done(&self, ctx: &SimCtx) -> Option<Arc<Descriptor>> {
         ctx.sleep(self.costs.poll_check);
+        ctx.trace_span(
+            dsim::TraceLayer::Via,
+            dsim::TraceKind::Poll,
+            self.costs.poll_check,
+            dsim::TraceTag::on_conn(self.id),
+        );
         self.rq.completed.lock().pop_front()
     }
 
@@ -301,8 +337,24 @@ impl Vi {
             }
             wq.cv.wait(ctx);
             match mode {
-                WaitMode::Poll => ctx.sleep(self.costs.poll_check),
-                WaitMode::Block => ctx.sleep(self.costs.context_switch),
+                WaitMode::Poll => {
+                    ctx.sleep(self.costs.poll_check);
+                    ctx.trace_span(
+                        dsim::TraceLayer::Via,
+                        dsim::TraceKind::Poll,
+                        self.costs.poll_check,
+                        dsim::TraceTag::on_conn(self.id),
+                    );
+                }
+                WaitMode::Block => {
+                    ctx.sleep(self.costs.context_switch);
+                    ctx.trace_span(
+                        dsim::TraceLayer::Via,
+                        dsim::TraceKind::ContextSwitch,
+                        self.costs.context_switch,
+                        dsim::TraceTag::on_conn(self.id),
+                    );
+                }
             }
         }
     }

@@ -8,7 +8,9 @@
 # adding, removing, or reordering scenarios cannot silently compare the
 # wrong pairs. Gated scenarios expose a wall time either as the first
 # `wall_ms` of a `fast_path_on` block (the A/B scenarios) or as an
-# explicit top-level `gate_wall_ms` (the fault_sweep scenario).
+# explicit top-level `gate_wall_ms` (the fault_sweep and
+# latency_breakdown scenarios — the latter also gates the tracing
+# layer: a slowdown in the traced re-runs trips it).
 # Scenarios with neither (e.g. the suite_fig6_sweep scaling scenario)
 # are tracked in the baseline but not gated.
 set -euo pipefail

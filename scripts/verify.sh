@@ -9,6 +9,10 @@
 #   - tests/half_close.rs             teardown + disconnect-while-blocked
 #   - crates/via/tests/error_paths.rs every VipError via the public API
 #   - crates/bench/tests/determinism.rs  empty-plan no-op + sweep identity
+# and the trace gate (DESIGN.md §9):
+#   - crates/bench/tests/trace.rs     tracing is a virtual-time no-op,
+#     trace JSON byte-identical at --threads 1/2/8 and across runs, and
+#     the latency breakdown sums exactly to the end-to-end numbers
 # The explicit invocations below fail loudly if a suite is ever renamed
 # or dropped from the workspace (a silent `0 tests run` would otherwise
 # pass).
@@ -21,5 +25,6 @@ cargo test --workspace -q
 cargo test -q --test proptest_faults --test half_close
 cargo test -q -p via --test error_paths
 cargo test -q -p bench --test determinism
+cargo test -q -p bench --test trace
 scripts/regen_results.sh
 echo "tier-1 OK"
