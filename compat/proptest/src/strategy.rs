@@ -130,14 +130,17 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// A boxed sampler arm of a `prop_oneof!`.
+pub type UnionArm<V> = Box<dyn Fn(&mut TestRng) -> V + Send + Sync>;
+
 /// Uniform choice among boxed samplers (built by `prop_oneof!`).
 pub struct Union<V> {
-    choices: Vec<Box<dyn Fn(&mut TestRng) -> V + Send + Sync>>,
+    choices: Vec<UnionArm<V>>,
 }
 
 impl<V> Union<V> {
     /// Build from the candidate samplers.
-    pub fn new(choices: Vec<Box<dyn Fn(&mut TestRng) -> V + Send + Sync>>) -> Union<V> {
+    pub fn new(choices: Vec<UnionArm<V>>) -> Union<V> {
         assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
         Union { choices }
     }

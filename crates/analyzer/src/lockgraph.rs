@@ -1,0 +1,103 @@
+//! R6: the workspace lock-acquisition order graph.
+//!
+//! Every time a function acquires lock B while (statically) holding lock
+//! A, an `A -> B` edge is recorded with its source site. A cycle in the
+//! resulting directed graph is the classic deadlock smell: two code paths
+//! that take the same locks in opposite orders. Lock identity is the
+//! field name before `.lock()` (or the `<name>_lock()` accessor prefix) —
+//! deliberately name-based, since the point is ordering *discipline*
+//! across the workspace, not alias analysis.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One recorded acquisition-order edge.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    pub from: String,
+    pub to: String,
+    pub file: String,
+    pub function: String,
+    pub line: u32,
+}
+
+/// The workspace-wide graph.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    edges: BTreeSet<LockEdge>,
+}
+
+/// A reported acquisition cycle.
+#[derive(Debug, Clone)]
+pub struct LockCycle {
+    /// The lock names along the cycle, starting at the lexically smallest.
+    pub nodes: Vec<String>,
+    /// The edges realizing the cycle (one per hop).
+    pub edges: Vec<LockEdge>,
+}
+
+impl LockGraph {
+    pub fn add_edge(&mut self, from: &str, to: &str, file: &str, function: &str, line: u32) {
+        self.edges.insert(LockEdge {
+            from: from.to_string(),
+            to: to.to_string(),
+            file: file.to_string(),
+            function: function.to_string(),
+            line,
+        });
+    }
+
+    /// Every edge whose acquisition site is on a suppressed line is
+    /// removed before cycle detection.
+    pub fn remove_site(&mut self, file: &str, line: u32) {
+        self.edges
+            .retain(|e| !(e.file == file && e.line == line));
+    }
+
+    /// All distinct simple cycles reachable by walking minimal back-edges:
+    /// deterministic (BTree ordering) and de-duplicated by node set.
+    pub fn cycles(&self) -> Vec<LockCycle> {
+        // Adjacency with a representative (smallest) edge per (from, to).
+        let mut adj: BTreeMap<&str, BTreeMap<&str, &LockEdge>> = BTreeMap::new();
+        for e in &self.edges {
+            adj.entry(&e.from).or_default().entry(&e.to).or_insert(e);
+        }
+        let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+        let mut out = Vec::new();
+        let starts: Vec<&str> = adj.keys().copied().collect();
+        for start in starts {
+            // DFS from `start`, only visiting nodes >= start so each cycle
+            // is found once, rooted at its smallest node.
+            let mut stack: Vec<(&str, Vec<&str>)> = vec![(start, vec![start])];
+            while let Some((node, path)) = stack.pop() {
+                let Some(nexts) = adj.get(node) else { continue };
+                for (&next, _) in nexts.iter() {
+                    if next == start {
+                        let mut nodes: Vec<String> =
+                            path.iter().map(|s| s.to_string()).collect();
+                        let mut key = nodes.clone();
+                        key.sort();
+                        if seen.insert(key) {
+                            let mut edges = Vec::new();
+                            for w in 0..nodes.len() {
+                                let a = &nodes[w];
+                                let b = &nodes[(w + 1) % nodes.len()];
+                                if let Some(e) =
+                                    adj.get(a.as_str()).and_then(|m| m.get(b.as_str()))
+                                {
+                                    edges.push((*e).clone());
+                                }
+                            }
+                            nodes.push(start.to_string()); // close the loop visually
+                            out.push(LockCycle { nodes, edges });
+                        }
+                    } else if next > start && !path.contains(&next) && path.len() < 8 {
+                        let mut p = path.clone();
+                        p.push(next);
+                        stack.push((next, p));
+                    }
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,74 @@
+//! `sovia-lint` CLI: lint the workspace, print diagnostics, gate CI.
+//!
+//!     sovia-lint [--json] [--root DIR]
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use analyzer::report::{render_human, render_json};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("sovia-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: sovia-lint [--json] [--root DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sovia-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match analyzer::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sovia-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let unsuppressed: Vec<_> = report.unsuppressed().collect();
+    let suppressed = report.findings.len() - unsuppressed.len();
+
+    if json {
+        let body: Vec<String> = report.findings.iter().map(render_json).collect();
+        println!(
+            "{{\"files\":{},\"unsuppressed\":{},\"suppressed\":{},\"findings\":[{}]}}",
+            report.files,
+            unsuppressed.len(),
+            suppressed,
+            body.join(",")
+        );
+    } else {
+        for f in &unsuppressed {
+            println!("{}", render_human(f));
+        }
+        println!(
+            "sovia-lint: {} files, {} finding(s), {} suppressed (justified)",
+            report.files,
+            unsuppressed.len(),
+            suppressed
+        );
+    }
+
+    if unsuppressed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,160 @@
+//! `use`-declaration resolution.
+//!
+//! Maps every locally visible name introduced by a `use` item to the full
+//! path it names, so `use std::time::Instant as Clock;` is caught when
+//! `Clock` (or the import itself) is what the source mentions. Handles
+//! nested groups, renames, `self`, and globs.
+
+use crate::lexer::Token;
+
+/// One name introduced by a `use` declaration.
+#[derive(Debug, Clone)]
+pub struct UseEntry {
+    /// The name visible in this file (`Instant`, or `Clock` for a rename).
+    pub local: String,
+    /// Full path segments, e.g. `["std", "time", "Instant"]`.
+    pub path: Vec<String>,
+    /// `true` for `use some::path::*`: `path` is the module globbed.
+    pub glob: bool,
+    pub line: u32,
+}
+
+/// Parse all `use` declarations in a token stream. Returns the entries and
+/// the token index ranges they occupy (so path-scanning can skip them).
+pub fn parse_uses(tokens: &[Token]) -> (Vec<UseEntry>, Vec<(usize, usize)>) {
+    let mut entries = Vec::new();
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("use") && at_item_position(tokens, i) {
+            let start = i;
+            let line = tokens[i].line;
+            i += 1;
+            let mut prefix: Vec<String> = Vec::new();
+            i = parse_tree(tokens, i, &mut prefix, line, &mut entries);
+            // Consume the trailing `;` if present.
+            if i < tokens.len() && tokens[i].is_punct(';') {
+                i += 1;
+            }
+            ranges.push((start, i));
+        } else {
+            i += 1;
+        }
+    }
+    (entries, ranges)
+}
+
+/// A `use` keyword only starts a declaration at item position (start of
+/// file, after `;`, `{`, `}`, or after visibility/attributes).
+fn at_item_position(tokens: &[Token], i: usize) -> bool {
+    if i == 0 {
+        return true;
+    }
+    let prev = &tokens[i - 1];
+    prev.is_punct(';')
+        || prev.is_punct('{')
+        || prev.is_punct('}')
+        || prev.is_punct(']') // end of an attribute
+        || prev.is_ident("pub")
+        || prev.is_punct(')') // pub(crate)
+}
+
+/// Parse one use-tree (path, group, or glob) under `prefix`.
+fn parse_tree(
+    tokens: &[Token],
+    mut i: usize,
+    prefix: &mut Vec<String>,
+    line: u32,
+    entries: &mut Vec<UseEntry>,
+) -> usize {
+    let depth_at_entry = prefix.len();
+    let mut segs: Vec<String> = Vec::new();
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if let Some(name) = t.ident() {
+            if name == "as" {
+                // Rename: next ident is the local name.
+                i += 1;
+                if let Some(local) = tokens.get(i).and_then(|t| t.ident()) {
+                    let mut path = prefix.clone();
+                    path.extend(segs.iter().cloned());
+                    entries.push(UseEntry {
+                        local: local.to_string(),
+                        path,
+                        glob: false,
+                        line: tokens[i].line,
+                    });
+                    segs.clear();
+                    i += 1;
+                }
+                // The rename ends this tree's path part.
+                while i < tokens.len()
+                    && !tokens[i].is_punct(',')
+                    && !tokens[i].is_punct('}')
+                    && !tokens[i].is_punct(';')
+                {
+                    i += 1;
+                }
+            } else {
+                segs.push(name.to_string());
+                i += 1;
+            }
+        } else if t.is_punct(':') {
+            i += 1; // each `:` of `::`
+        } else if t.is_punct('*') {
+            let mut path = prefix.clone();
+            path.extend(segs.iter().cloned());
+            entries.push(UseEntry {
+                local: String::new(),
+                path,
+                glob: true,
+                line: t.line,
+            });
+            segs.clear();
+            i += 1;
+        } else if t.is_punct('{') {
+            prefix.extend(segs.iter().cloned());
+            let pushed = segs.len();
+            segs.clear();
+            i += 1;
+            loop {
+                i = parse_tree(tokens, i, prefix, line, entries);
+                if i < tokens.len() && tokens[i].is_punct(',') {
+                    i += 1;
+                    continue;
+                }
+                break;
+            }
+            if i < tokens.len() && tokens[i].is_punct('}') {
+                i += 1;
+            }
+            prefix.truncate(prefix.len() - pushed);
+        } else if t.is_punct(',') || t.is_punct('}') || t.is_punct(';') {
+            break;
+        } else {
+            i += 1; // stray punctuation; be permissive
+        }
+    }
+    // A plain path ends here: the last segment is the local name
+    // (`self` names the parent module).
+    if !segs.is_empty() {
+        let mut path = prefix.clone();
+        path.extend(segs.iter().cloned());
+        let local = if segs.last().map(String::as_str) == Some("self") {
+            path.pop();
+            path.last().cloned().unwrap_or_default()
+        } else {
+            segs.last().cloned().unwrap_or_default()
+        };
+        if !local.is_empty() {
+            entries.push(UseEntry {
+                local,
+                path,
+                glob: false,
+                line,
+            });
+        }
+    }
+    prefix.truncate(depth_at_entry);
+    i
+}

@@ -1,0 +1,19 @@
+//! Fixture: disciplined sim code — ordered containers, sim-layer sync,
+//! propagated errors. Must produce zero findings.
+
+use std::collections::BTreeMap;
+
+pub struct Registry {
+    map: BTreeMap<u32, String>,
+}
+
+impl Registry {
+    pub fn dump(&self) -> Vec<String> {
+        self.map.values().cloned().collect()
+    }
+
+    pub fn deliver(&self, conn: &Conn, data: &[u8]) -> Result<(), SockError> {
+        conn.send_all(data)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: sim code consulting the host wall clock (R1).
+
+use std::time::Instant;
+
+pub fn elapsed_ms(start: Instant) -> u128 {
+    start.elapsed().as_millis()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

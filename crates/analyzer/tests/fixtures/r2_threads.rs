@@ -1,0 +1,9 @@
+//! Fixture: sim code spawning OS threads and using std::sync (R2).
+
+use std::sync::Mutex;
+
+pub fn race(counter: Mutex<u32>) {
+    std::thread::spawn(move || {
+        *counter.lock().unwrap() += 1;
+    });
+}

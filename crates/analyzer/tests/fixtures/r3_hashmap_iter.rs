@@ -1,0 +1,24 @@
+//! Fixture: order-unstable iteration of a hash container (R3).
+
+use std::collections::HashMap;
+
+pub struct Table {
+    map: HashMap<u32, String>,
+}
+
+impl Table {
+    pub fn dump(&self) -> Vec<String> {
+        self.map.values().cloned().collect()
+    }
+
+    pub fn walk(&self) {
+        for (k, v) in self.map.iter() {
+            let _ = (k, v);
+        }
+    }
+
+    pub fn lookup(&self, k: u32) -> Option<&String> {
+        // Keyed access is fine: no iteration order involved.
+        self.map.get(&k)
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: host randomness in sim code (R4).
+
+use std::collections::hash_map::RandomState;
+
+pub fn salt() -> RandomState {
+    RandomState::new()
+}
+
+pub fn roll() -> u64 {
+    rand::random()
+}

@@ -1,0 +1,6 @@
+//! Fixture: unwrap/expect on the fallible error-path surface (R5).
+
+pub fn shout(conn: &Conn, data: &[u8]) {
+    conn.send_all(data).unwrap();
+    conn.recv(16).expect("recv failed");
+}

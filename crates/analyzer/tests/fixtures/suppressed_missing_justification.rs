@@ -1,0 +1,9 @@
+//! Fixture: a suppression without the required `-- <why>` justification.
+//! The linter converts it into an unsuppressed SUPPRESS finding.
+
+// sovia-lint: allow(R1)
+use std::time::Instant;
+
+pub fn t() -> Instant {
+    Instant::now()
+}

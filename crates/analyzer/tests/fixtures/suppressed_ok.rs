@@ -1,0 +1,8 @@
+//! Fixture: a violation silenced by a justified suppression.
+
+// sovia-lint: allow(R1) -- fixture: wall-clock comparison against the host is the point of this module
+use std::time::Instant;
+
+pub fn t() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,169 @@
+//! Rule-by-rule fixture tests plus the workspace self-run: the
+//! determinism discipline is only as good as its enforcement, so every
+//! rule must demonstrably fire on a minimal bad snippet, stay quiet on a
+//! clean one, and the committed workspace itself must lint clean.
+
+use std::path::Path;
+
+use analyzer::lockgraph::LockGraph;
+use analyzer::report::{CrateClass, Finding};
+
+fn lint(class: CrateClass, src: &str) -> (Vec<Finding>, LockGraph) {
+    let mut graph = LockGraph::default();
+    let findings = analyzer::lint_source("fixture.rs", class, src, &mut graph);
+    (findings, graph)
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+#[test]
+fn r1_fires_on_wall_clock() {
+    let src = include_str!("fixtures/r1_wallclock.rs");
+    let (findings, _) = lint(CrateClass::Sim, src);
+    let r1: Vec<_> = findings.iter().filter(|f| f.rule == "R1").collect();
+    // The `use std::time::Instant` import and the inline
+    // `std::time::SystemTime` paths must both be caught.
+    assert!(r1.len() >= 2, "expected >=2 R1 findings, got {findings:?}");
+    assert!(findings.iter().all(|f| f.suppressed_by.is_none()));
+}
+
+#[test]
+fn r2_fires_on_threads_and_std_sync() {
+    let src = include_str!("fixtures/r2_threads.rs");
+    let (findings, _) = lint(CrateClass::Sim, src);
+    let r2: Vec<_> = findings.iter().filter(|f| f.rule == "R2").collect();
+    // `use std::sync::Mutex` and the inline `std::thread::spawn`.
+    assert!(r2.len() >= 2, "expected >=2 R2 findings, got {findings:?}");
+}
+
+#[test]
+fn r3_fires_on_hash_iteration_not_keyed_access() {
+    let src = include_str!("fixtures/r3_hashmap_iter.rs");
+    let (findings, _) = lint(CrateClass::Sim, src);
+    let r3: Vec<_> = findings.iter().filter(|f| f.rule == "R3").collect();
+    // `.values()` in dump() and the `for … in .iter()` in walk().
+    assert!(r3.len() >= 2, "expected >=2 R3 findings, got {findings:?}");
+    // lookup() uses keyed `.get()` only — its line must not be flagged.
+    let lookup_line = src
+        .lines()
+        .position(|l| l.contains("map.get"))
+        .expect("fixture has map.get") as u32
+        + 1;
+    assert!(
+        r3.iter().all(|f| f.line != lookup_line),
+        "keyed access wrongly flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn r4_fires_on_host_randomness() {
+    let src = include_str!("fixtures/r4_random.rs");
+    let (findings, _) = lint(CrateClass::Sim, src);
+    let r4: Vec<_> = findings.iter().filter(|f| f.rule == "R4").collect();
+    // The RandomState import and the inline `rand::random()` path.
+    assert!(r4.len() >= 2, "expected >=2 R4 findings, got {findings:?}");
+}
+
+#[test]
+fn r5_fires_on_unwrap_of_fallible_calls() {
+    let src = include_str!("fixtures/r5_unwrap.rs");
+    let (findings, _) = lint(CrateClass::Sim, src);
+    let r5: Vec<_> = findings.iter().filter(|f| f.rule == "R5").collect();
+    // `.send_all(..).unwrap()` and `.recv(..).expect(..)`.
+    assert_eq!(r5.len(), 2, "expected 2 R5 findings, got {findings:?}");
+}
+
+#[test]
+fn r6_reports_opposite_acquisition_orders() {
+    let src = include_str!("fixtures/r6_lock_cycle.rs");
+    let (_, graph) = lint(CrateClass::Sim, src);
+    let cycles = graph.cycles();
+    assert_eq!(cycles.len(), 1, "expected 1 lock cycle, got {cycles:?}");
+    assert!(
+        cycles[0].nodes.contains(&"alpha".to_string())
+            && cycles[0].nodes.contains(&"beta".to_string()),
+        "cycle should involve alpha and beta: {cycles:?}"
+    );
+}
+
+#[test]
+fn host_class_is_exempt_from_sim_rules() {
+    // The same wall-clock fixture produces nothing when classified as
+    // host-side code (bench/analyzer are allowed to time the host).
+    let src = include_str!("fixtures/r1_wallclock.rs");
+    let (findings, _) = lint(CrateClass::Host, src);
+    assert!(findings.is_empty(), "host code wrongly flagged: {findings:?}");
+}
+
+#[test]
+fn clean_fixture_has_zero_findings() {
+    let src = include_str!("fixtures/clean.rs");
+    let (findings, graph) = lint(CrateClass::Sim, src);
+    assert!(findings.is_empty(), "clean fixture flagged: {findings:?}");
+    assert!(graph.cycles().is_empty());
+}
+
+#[test]
+fn justified_suppression_silences_and_is_recorded() {
+    let src = include_str!("fixtures/suppressed_ok.rs");
+    let (findings, _) = lint(CrateClass::Sim, src);
+    assert!(!findings.is_empty(), "the violation should still be recorded");
+    assert!(
+        findings.iter().all(|f| f.suppressed_by.is_some()),
+        "all findings should be suppressed: {findings:?}"
+    );
+}
+
+#[test]
+fn suppression_without_justification_is_itself_a_finding() {
+    let src = include_str!("fixtures/suppressed_missing_justification.rs");
+    let (findings, _) = lint(CrateClass::Sim, src);
+    let unsuppressed: Vec<_> = findings
+        .iter()
+        .filter(|f| f.suppressed_by.is_none())
+        .collect();
+    assert!(
+        unsuppressed.iter().any(|f| f.rule == "SUPPRESS"),
+        "expected a SUPPRESS finding, got {findings:?}"
+    );
+}
+
+#[test]
+fn cfg_test_items_are_not_linted() {
+    let src = r#"
+        pub fn fine() {}
+
+        #[cfg(test)]
+        mod tests {
+            use std::time::Instant;
+
+            #[test]
+            fn timing() {
+                let _ = Instant::now();
+            }
+        }
+    "#;
+    let (findings, _) = lint(CrateClass::Sim, src);
+    assert!(findings.is_empty(), "test code wrongly flagged: {findings:?}");
+}
+
+#[test]
+fn workspace_lints_clean() {
+    // The committed tree is the ultimate fixture: zero unsuppressed
+    // findings, and every suppression justified.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = analyzer::lint_workspace(&root).expect("workspace walk");
+    let unsuppressed: Vec<_> = report.unsuppressed().collect();
+    assert!(
+        unsuppressed.is_empty(),
+        "workspace has unsuppressed findings:\n{}",
+        unsuppressed
+            .iter()
+            .map(|f| format!("{}:{}: {}: {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files > 50, "workspace walk looks truncated");
+}

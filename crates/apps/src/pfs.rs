@@ -122,12 +122,17 @@ fn serve(ctx: &SimCtx, p: &Process, conn: Fd) -> SockResult<()> {
                 api::send_all(ctx, p, conn, &0u64.to_be_bytes())?;
             }
             OP_READ => {
-                if !p.machine().fs().exists(&path) {
-                    api::send_all(ctx, p, conn, &[ST_NOT_FOUND])?;
-                    api::send_all(ctx, p, conn, &0u64.to_be_bytes())?;
-                    continue;
-                }
-                let len = p.machine().fs().file_len(&path).unwrap();
+                // A single fallible lookup instead of exists()+unwrap():
+                // the file can be gone for any reason, and the protocol
+                // already has a status byte for it.
+                let len = match p.machine().fs().file_len(&path) {
+                    Ok(len) => len,
+                    Err(_) => {
+                        api::send_all(ctx, p, conn, &[ST_NOT_FOUND])?;
+                        api::send_all(ctx, p, conn, &0u64.to_be_bytes())?;
+                        continue;
+                    }
+                };
                 api::send_all(ctx, p, conn, &[ST_OK])?;
                 api::send_all(ctx, p, conn, &len.to_be_bytes())?;
                 let fd = p.open(ctx, &path, OpenMode::Read)?;

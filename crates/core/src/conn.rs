@@ -214,6 +214,7 @@ impl SovConn {
             );
             conn.vi
                 .post_recv(ctx, d)
+                // sovia-lint: allow(R5) -- invariant, not an error path: the VI was created above with a ring sized for exactly these pre-posts, so a failure is a library bug
                 .expect("pre-posting on a fresh VI cannot fail");
         }
         conn

@@ -11,13 +11,14 @@
 //!   comparison): a dedicated thread blocks on the CQ and signals the
 //!   application, paying `thread_wake` on every message.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use dsim::sync::{SimCondvar, SimQueue};
 use dsim::{SimCtx, SimHandle, TimerGuard};
 use parking_lot::Mutex;
 use simos::{HostCosts, Process};
+use sockets::{SockError, SockResult};
 use via::{CompletionQueue, ViaNic, WaitMode};
 
 use crate::config::{ReceiveMode, SoviaConfig};
@@ -31,7 +32,7 @@ pub struct SoviaLib {
     costs: HostCosts,
     sim: SimHandle,
     cq: Arc<CompletionQueue>,
-    conns: Mutex<HashMap<u32, Arc<SovConn>>>,
+    conns: Mutex<BTreeMap<u32, Arc<SovConn>>>,
     /// Notified whenever anything that could unblock a waiter happened:
     /// a CQ push (single mode), a processed packet, an accept-queue push.
     progress_cv: SimCondvar,
@@ -51,10 +52,12 @@ pub struct SoviaLib {
 
 impl SoviaLib {
     /// Get or initialize the SOVIA library of `process` (spawning its
-    /// service threads on first use).
-    pub fn init(process: &Process, config: SoviaConfig) -> Arc<SoviaLib> {
-        process.ext().get_or_init(|| {
-            config.validate().expect("invalid SOVIA configuration");
+    /// service threads on first use). A configuration that fails
+    /// validation surfaces as a socket error at `socket()` time rather
+    /// than a panic inside the library.
+    pub fn init(process: &Process, config: SoviaConfig) -> SockResult<Arc<SoviaLib>> {
+        config.validate().map_err(|_| SockError::InvalidConfig)?;
+        Ok(process.ext().get_or_init(|| {
             let machine = process.machine();
             let nic = ViaNic::of(machine);
             let sim = machine.sim().clone();
@@ -65,7 +68,7 @@ impl SoviaLib {
                 costs: machine.costs().clone(),
                 sim: sim.clone(),
                 cq: Arc::clone(&cq),
-                conns: Mutex::new(HashMap::new()),
+                conns: Mutex::new(BTreeMap::new()),
                 progress_cv: SimCondvar::new(&sim),
                 active_sockets: Mutex::new(0),
                 open_conns: Mutex::new(0),
@@ -77,7 +80,7 @@ impl SoviaLib {
             });
             lib.start_threads();
             lib
-        })
+        }))
     }
 
     /// The library of a process, if initialized.

@@ -354,7 +354,7 @@ impl SoviaProvider {
 
 impl SocketProvider for SoviaProvider {
     fn create(&self, _ctx: &SimCtx, process: &Process) -> SockResult<Arc<dyn Socket>> {
-        let lib = SoviaLib::init(process, self.config.clone());
+        let lib = SoviaLib::init(process, self.config.clone())?;
         Ok(SovSocket::new(lib))
     }
 }

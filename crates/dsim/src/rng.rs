@@ -4,7 +4,9 @@
 //! we never touch OS entropy. `SimRng` wraps a counter-seeded `StdRng` and
 //! adds the small helpers the workload generators need.
 
+// sovia-lint: allow(R4) -- this IS the sanctioned wrapper: StdRng is always counter-seeded from the run seed (seed_from below), never from OS entropy
 use rand::rngs::StdRng;
+// sovia-lint: allow(R4) -- trait imports for the seeded StdRng above; no entropy source is reachable through them
 use rand::{Rng, RngExt, SeedableRng};
 
 /// A seeded deterministic RNG.

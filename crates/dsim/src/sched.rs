@@ -39,11 +39,12 @@
 //! `(time, seq)` heap order either way; virtual-time results are
 //! bit-identical. Toggle via [`SchedConfig`] for A/B measurement.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+// sovia-lint: allow(R2) -- dsim IS the boundary: simulated processes are carried by real OS threads that only run when the scheduler hands them the token
 use std::thread::JoinHandle;
 
 use parking_lot::{Condvar, Mutex};
@@ -323,7 +324,7 @@ struct SchedState {
     now: u64,
     seq: u64,
     heap: BinaryHeap<EventEntry>,
-    procs: HashMap<u64, ProcSlot>,
+    procs: BTreeMap<u64, ProcSlot>,
     next_pid: u64,
     /// Number of processes not yet Done.
     live: usize,
@@ -471,6 +472,7 @@ impl SimHandle {
         // `sim<N>-p<pid>-<name>` keeps debugger/`perf` output legible when
         // dozens of simulations run concurrently (the OS-level name is
         // truncated to 15 bytes on Linux; the sim/pid prefix survives).
+        // sovia-lint: allow(R2) -- the one place the runner creates carrier threads; everything above this layer uses sim.spawn()
         let thread = std::thread::Builder::new()
             .name(format!("sim{}-p{}-{tname}", self.core.sim_id, pid.0))
             .spawn(move || {
@@ -502,6 +504,7 @@ impl SimHandle {
                 drop(st);
                 core.coord.raise();
             })
+            // sovia-lint: allow(R5) -- OS thread exhaustion has no in-simulation recovery; dying loudly here beats a wedged scheduler
             .expect("failed to spawn simulation thread");
 
         if let Some(tr) = &self.core.trace {
@@ -861,7 +864,7 @@ impl Simulation {
                 now: 0,
                 seq: 0,
                 heap: BinaryHeap::new(),
-                procs: HashMap::new(),
+                procs: BTreeMap::new(),
                 next_pid: 0,
                 live: 0,
                 shutting_down: false,

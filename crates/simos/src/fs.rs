@@ -5,7 +5,7 @@
 //! costs (611 Mb/s / 538 Mb/s local copy in Table 1), which is what the
 //! per-byte read/write costs model.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -84,7 +84,7 @@ impl FileHandle {
 /// The ramdisk: a flat path → contents map.
 #[derive(Default)]
 pub struct Ramdisk {
-    files: Mutex<HashMap<String, Arc<Mutex<FileData>>>>,
+    files: Mutex<BTreeMap<String, Arc<Mutex<FileData>>>>,
 }
 
 impl Ramdisk {

@@ -4,7 +4,7 @@
 //! of the applications) to exercise the API dispatch without bringing up a
 //! NIC and a protocol stack. Not registered by default.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use dsim::sync::SimQueue;
@@ -64,7 +64,7 @@ type Backlog = Arc<SimQueue<(Arc<Conn>, SockAddr)>>;
 /// The loopback provider: a port table on one simulation.
 pub struct LoopbackProvider {
     sim: SimHandle,
-    ports: Mutex<HashMap<u16, Backlog>>,
+    ports: Mutex<BTreeMap<u16, Backlog>>,
     next_auto_port: Mutex<u16>,
 }
 
@@ -73,7 +73,7 @@ impl LoopbackProvider {
     pub fn new(sim: &SimHandle) -> Arc<LoopbackProvider> {
         Arc::new(LoopbackProvider {
             sim: sim.clone(),
-            ports: Mutex::new(HashMap::new()),
+            ports: Mutex::new(BTreeMap::new()),
             next_auto_port: Mutex::new(40_000),
         })
     }

@@ -75,6 +75,8 @@ pub enum SockError {
     TimedOut,
     /// No provider registered for the requested socket type.
     NoProvider,
+    /// The provider's configuration failed validation.
+    InvalidConfig,
     /// Underlying OS error.
     Os(OsError),
 }
@@ -91,6 +93,7 @@ impl fmt::Display for SockError {
             SockError::Closed => f.write_str("socket closed"),
             SockError::TimedOut => f.write_str("timed out"),
             SockError::NoProvider => f.write_str("no provider for socket type"),
+            SockError::InvalidConfig => f.write_str("invalid provider configuration"),
             SockError::Os(e) => write!(f, "os error: {e}"),
         }
     }

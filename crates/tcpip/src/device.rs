@@ -112,18 +112,24 @@ impl LaneDevice {
     }
 
     /// Establish the LANE link between two devices (bidirectional VI).
-    /// Must run inside a simulation process.
-    pub fn connect_pair(ctx: &SimCtx, a: &Arc<LaneDevice>, b: &Arc<LaneDevice>) {
+    /// Must run inside a simulation process. Surfaces VIA-layer failures
+    /// (exhausted rings, refused dialogs) to the caller instead of
+    /// panicking inside the driver.
+    pub fn connect_pair(
+        ctx: &SimCtx,
+        a: &Arc<LaneDevice>,
+        b: &Arc<LaneDevice>,
+    ) -> Result<(), via::VipError> {
         let attrs = || ViAttributes {
             reliability: Some(Reliability::ReliableDelivery),
             ..Default::default()
         };
         let vi_b = b.nic.create_vi(attrs());
-        b.prepost_ring(ctx, &vi_b);
+        b.prepost_ring(ctx, &vi_b)?;
         let listener = b.nic.listen(lane_disc(a.host));
 
         let vi_a = a.nic.create_vi(attrs());
-        a.prepost_ring(ctx, &vi_a);
+        a.prepost_ring(ctx, &vi_a)?;
 
         // Accept on a helper process while this context drives the request.
         {
@@ -136,12 +142,12 @@ impl LaneDevice {
                     actx.sleep(nic_b.machine().costs().context_switch);
                     nic_b
                         .connect_accept(actx, &pending, &vi_b2)
+                        // sovia-lint: allow(R5) -- helper process closure: no caller to propagate to, and the requester side below surfaces the same dialog failure as Err
                         .expect("LANE accept failed");
                 });
         }
         a.nic
-            .connect_request(ctx, &vi_a, ViaNicId(b.host.0), lane_disc(a.host))
-            .expect("LANE connect failed");
+            .connect_request(ctx, &vi_a, ViaNicId(b.host.0), lane_disc(a.host))?;
 
         let peer_a = Arc::new(LanePeer {
             host: b.host,
@@ -157,9 +163,10 @@ impl LaneDevice {
         b.peers.lock().push(Arc::clone(&peer_b));
         a.start_rx(&peer_a);
         b.start_rx(&peer_b);
+        Ok(())
     }
 
-    fn prepost_ring(&self, ctx: &SimCtx, vi: &Arc<Vi>) {
+    fn prepost_ring(&self, ctx: &SimCtx, vi: &Arc<Vi>) -> Result<(), via::VipError> {
         let kproc = self.machine.spawn_process("lane-ring");
         let va = kproc.alloc_shared(ctx, LANE_RING * LANE_MTU);
         let region = MemRegion::register(ctx, &kproc, va, LANE_RING * LANE_MTU);
@@ -167,9 +174,9 @@ impl LaneDevice {
             vi.post_recv(
                 ctx,
                 Descriptor::recv(Arc::clone(&region), i * LANE_MTU, LANE_MTU),
-            )
-            .expect("LANE pre-post failed");
+            )?;
         }
+        Ok(())
     }
 
     fn start_rx(self: &Arc<Self>, peer: &Arc<LanePeer>) {

@@ -69,7 +69,7 @@ mod tests {
         sim.spawn("bootstrap", move |ctx| {
             let d0 = LaneDevice::new(ctx, &m0);
             let d1 = LaneDevice::new(ctx, &m1);
-            LaneDevice::connect_pair(ctx, &d0, &d1);
+            LaneDevice::connect_pair(ctx, &d0, &d1).expect("LANE link setup failed");
             TcpStack::install(&m0, d0, TcpCosts::linux22());
             TcpStack::install(&m1, d1, TcpCosts::linux22());
             TcpProvider::register(&m0);

@@ -1,7 +1,7 @@
 //! The per-machine TCP/IP stack: demultiplexing, listeners, port
 //! allocation, and the timer service.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use dsim::sync::SimQueue;
@@ -26,8 +26,8 @@ pub struct TcpStack {
     machine: Machine,
     device: Arc<dyn NetDevice>,
     costs: TcpCosts,
-    conns: Mutex<HashMap<ConnKey, Arc<Tcb>>>,
-    listeners: Mutex<HashMap<u16, Arc<Listener>>>,
+    conns: Mutex<BTreeMap<ConnKey, Arc<Tcb>>>,
+    listeners: Mutex<BTreeMap<u16, Arc<Listener>>>,
     timer_q: Arc<SimQueue<TimerEvent>>,
     next_port: Mutex<u16>,
 }
@@ -41,8 +41,8 @@ impl TcpStack {
             machine: machine.clone(),
             device: Arc::clone(&device),
             costs,
-            conns: Mutex::new(HashMap::new()),
-            listeners: Mutex::new(HashMap::new()),
+            conns: Mutex::new(BTreeMap::new()),
+            listeners: Mutex::new(BTreeMap::new()),
             timer_q: SimQueue::new(&sim),
             next_port: Mutex::new(32_768),
         });

@@ -6,7 +6,7 @@
 //! capacity, which is the effect SOVIA's delayed acknowledgments exist to
 //! avoid (Fig. 6(b), SOVIA_FLOWCTRL vs SOVIA_DACKS).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
@@ -136,8 +136,8 @@ pub struct ViaNic {
     machine: Machine,
     costs: ViaNicCosts,
     jobs: Arc<SimQueue<NicJob>>,
-    links: Mutex<HashMap<ViaNicId, Arc<Link<NicJob>>>>,
-    vis: Mutex<HashMap<u32, Arc<Vi>>>,
+    links: Mutex<BTreeMap<ViaNicId, Arc<Link<NicJob>>>>,
+    vis: Mutex<BTreeMap<u32, Arc<Vi>>>,
     next_vi: AtomicU32,
     stats: Mutex<NicStats>,
     faults: Mutex<Option<Arc<NicFaults>>>,
@@ -154,8 +154,8 @@ impl ViaNic {
             machine: machine.clone(),
             costs,
             jobs: SimQueue::new(&sim),
-            links: Mutex::new(HashMap::new()),
-            vis: Mutex::new(HashMap::new()),
+            links: Mutex::new(BTreeMap::new()),
+            vis: Mutex::new(BTreeMap::new()),
             next_vi: AtomicU32::new(1),
             stats: Mutex::new(NicStats::default()),
             faults: Mutex::new(None),
@@ -323,7 +323,7 @@ impl ViaNic {
         self.vis.lock().get(&id).cloned()
     }
 
-    pub(crate) fn vis_lock(&self) -> parking_lot::MutexGuard<'_, HashMap<u32, Arc<Vi>>> {
+    pub(crate) fn vis_lock(&self) -> parking_lot::MutexGuard<'_, BTreeMap<u32, Arc<Vi>>> {
         self.vis.lock()
     }
 
@@ -494,11 +494,9 @@ impl ViaNic {
                             // Reliable delivery discards duplicates by
                             // sequence number; only unreliable VIs see the
                             // second copy (judged afresh when it re-arrives).
-                            let reliable = self
-                                .lookup_vi(dst_vi)
-                                .map_or(false, |vi| {
-                                    vi.reliability == Reliability::ReliableDelivery
-                                });
+                            let reliable = self.lookup_vi(dst_vi).is_some_and(|vi| {
+                                vi.reliability == Reliability::ReliableDelivery
+                            });
                             if !reliable {
                                 self.jobs.push(NicJob::Rx(ViaFrame::Data {
                                     dst_vi,

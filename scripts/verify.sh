@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 gate (see ROADMAP.md): release build + test suite, then the
-# full workspace test run (the root `cargo test` only covers the root
-# package), then the golden-results check (all five results/*.txt must
-# regenerate byte-identically, sequentially and in parallel).
+# Tier-1 gate (see ROADMAP.md): release build, then the static-analysis
+# gate (scripts/lint.sh: sovia-lint + clippy, DESIGN.md §10), the test
+# suite, the full workspace test run (the root `cargo test` only covers
+# the root package), and the golden-results check (all five
+# results/*.txt must regenerate byte-identically, sequentially and in
+# parallel).
 #
 # The workspace run includes the fault-injection suites (DESIGN.md §8):
 #   - tests/proptest_faults.rs        random lossy streams, exact-or-error
@@ -20,6 +22,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
+scripts/lint.sh
 cargo test -q
 cargo test --workspace -q
 cargo test -q --test proptest_faults --test half_close
